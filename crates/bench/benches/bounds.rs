@@ -1,0 +1,40 @@
+//! Theory-layer micro-benchmarks: the per-target cost of the
+//! theoretical-bound curves (Corollary 1 with the c-sweep dominates).
+
+#![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_bench::{median_target, wiki_graph};
+use psr_bounds::{best_accuracy_bound, corollary1_accuracy_upper_bound, lemma1_eps_lower_bound};
+use psr_utility::{CommonNeighbors, UtilityFunction, UtilityVector};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+
+    group.bench_function("corollary1_single_point", |b| {
+        b.iter(|| corollary1_accuracy_upper_bound(0.1, 150, 400_000_000, 100, 0.99))
+    });
+    group.bench_function("lemma1_single_point", |b| {
+        b.iter(|| lemma1_eps_lower_bound(0.99, 0.54, 400_000_000, 100, 150))
+    });
+
+    let g = wiki_graph();
+    let u = CommonNeighbors.utilities_for(&g, median_target(&g));
+    group.bench_function("best_bound_wiki_target", |b| {
+        b.iter(|| best_accuracy_bound(&u, 1.0, 10, None))
+    });
+
+    // c-sweep cost scaling with the number of distinct utility values.
+    for distinct in [4u32, 64, 1024] {
+        let v = UtilityVector::from_sparse(
+            (0..distinct).map(|i| (i, (i + 1) as f64)).collect(),
+            100_000,
+        );
+        group.bench_function(format!("best_bound_{distinct}_distinct_values"), |b| {
+            b.iter(|| best_accuracy_bound(&v, 1.0, 10, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! One benchmark per paper figure: measures the full harness that
+//! regenerates each figure's series (dataset generation excluded — it is
+//! part of the fixture, not the experiment).
+
+#![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_core::figures::{
+    fig1a, fig1b, fig2a, fig2b, fig2c, lap_vs_exp, lemma3_curves, smoothing_tradeoff,
+    FigureConfig,
+};
+
+fn figure_config(scale: f64) -> FigureConfig {
+    FigureConfig { scale, seed: psr_bench::BENCH_SEED, ..Default::default() }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Figures 1(a), 2(a), 2(c) run at the paper's full wiki scale.
+    group.bench_function("fig1a_full_scale", |b| {
+        let cfg = figure_config(1.0);
+        b.iter(|| fig1a(&cfg));
+    });
+    group.bench_function("fig2a_full_scale", |b| {
+        let cfg = figure_config(1.0);
+        b.iter(|| fig2a(&cfg));
+    });
+    group.bench_function("fig2c_full_scale", |b| {
+        let cfg = figure_config(1.0);
+        b.iter(|| fig2c(&cfg));
+    });
+
+    // Twitter figures: full scale, 1% targets as in the paper.
+    group.bench_function("fig1b_full_scale", |b| {
+        let cfg = figure_config(1.0);
+        b.iter(|| fig1b(&cfg));
+    });
+    group.bench_function("fig2b_full_scale", |b| {
+        let cfg = figure_config(1.0);
+        b.iter(|| fig2b(&cfg));
+    });
+
+    // In-text experiments.
+    group.bench_function("lap_vs_exp_quarter_scale", |b| {
+        // Laplace Monte-Carlo is the paper's slowest step; quarter scale
+        // keeps one iteration under a second.
+        let cfg = figure_config(0.25);
+        b.iter(|| lap_vs_exp(&cfg, 1.0));
+    });
+    group.bench_function("lemma3_curves", |b| b.iter(|| lemma3_curves(1.0)));
+    group.bench_function("smoothing_tradeoff", |b| {
+        b.iter(|| smoothing_tradeoff(psr_datasets::presets::TWITTER_NODES))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Generator benchmarks: the fixture cost of every experiment
+//! (graph generation is excluded from figure benches, so it is measured
+//! separately here).
+
+#![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_gen::barabasi_albert::{ba_undirected, BaParams};
+use psr_gen::degrees::{powerlaw_degree_sequence, PowerLawParams};
+use psr_gen::erased_configuration_model;
+use psr_gen::erdos_renyi::gnm;
+use psr_gen::seed::rng_from_seed;
+use psr_graph::Direction;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.bench_function("wiki_vote_like_full", |b| {
+        b.iter(|| wiki_vote_like(PresetConfig::full(1)).unwrap())
+    });
+    group.bench_function("twitter_like_full", |b| {
+        b.iter(|| twitter_like(PresetConfig::full(1)).unwrap())
+    });
+    group.bench_function("ba_10k_nodes_50k_edges", |b| {
+        b.iter(|| {
+            let mut rng = rng_from_seed(3);
+            ba_undirected(BaParams { n: 10_000, target_edges: 50_000 }, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("gnm_10k_nodes_50k_edges", |b| {
+        b.iter(|| {
+            let mut rng = rng_from_seed(4);
+            gnm(10_000, 50_000, Direction::Undirected, &mut rng).unwrap()
+        })
+    });
+    group.bench_function("config_model_powerlaw_10k", |b| {
+        b.iter(|| {
+            let mut rng = rng_from_seed(5);
+            let params = PowerLawParams { exponent: 2.3, d_min: 2, d_max: 500 };
+            let degrees = powerlaw_degree_sequence(10_000, params, &mut rng);
+            erased_configuration_model(&degrees, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

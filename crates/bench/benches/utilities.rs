@@ -1,0 +1,53 @@
+//! Utility-function micro-benchmarks: per-target scoring cost, the inner
+//! loop of every experiment.
+
+#![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_bench::{median_target, twitter_graph_small, wiki_graph};
+use psr_utility::extra::{AdamicAdar, Jaccard, PreferentialAttachment};
+use psr_utility::{CommonNeighbors, PersonalizedPageRank, UtilityFunction, WeightedPaths};
+
+fn bench_utilities(c: &mut Criterion) {
+    let wiki = wiki_graph();
+    let twitter = twitter_graph_small();
+    let wiki_target = median_target(&wiki);
+    let twitter_target = median_target(&twitter);
+
+    let mut group = c.benchmark_group("utilities");
+    group.bench_function("common_neighbors_wiki", |b| {
+        b.iter(|| CommonNeighbors.utilities_for(&wiki, wiki_target))
+    });
+    group.bench_function("common_neighbors_twitter", |b| {
+        b.iter(|| CommonNeighbors.utilities_for(&twitter, twitter_target))
+    });
+    group.bench_function("weighted_paths_len3_wiki", |b| {
+        let wp = WeightedPaths::paper(0.005);
+        b.iter(|| wp.utilities_for(&wiki, wiki_target))
+    });
+    group.bench_function("weighted_paths_len3_twitter", |b| {
+        let wp = WeightedPaths::paper(0.005);
+        b.iter(|| wp.utilities_for(&twitter, twitter_target))
+    });
+    group.bench_function("adamic_adar_wiki", |b| {
+        b.iter(|| AdamicAdar.utilities_for(&wiki, wiki_target))
+    });
+    group.bench_function("jaccard_wiki", |b| {
+        b.iter(|| Jaccard.utilities_for(&wiki, wiki_target))
+    });
+    group.bench_function("preferential_attachment_wiki", |b| {
+        b.iter(|| PreferentialAttachment.utilities_for(&wiki, wiki_target))
+    });
+
+    group.finish();
+
+    let mut slow = c.benchmark_group("utilities_slow");
+    slow.sample_size(10);
+    slow.bench_function("personalized_pagerank_wiki", |b| {
+        let ppr = PersonalizedPageRank { alpha: 0.85, iterations: 20, tolerance: 1e-12 };
+        b.iter(|| ppr.utilities_for(&wiki, wiki_target))
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_utilities);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! The exact per-target edit distances `t` used in §7.1.
+//!
+//! In the experiments the paper computes `t` exactly for each target's
+//! utility vector: `t = u_max + 1 + 𝟙[u_max = d_r]` for common neighbours
+//! and `t = ⌊u_max⌋ + 2` for weighted paths. These free functions mirror
+//! the `UtilityFunction::edit_distance_t` implementations so the bounds
+//! crate can be used without constructing utility objects, plus the
+//! generic proof-level upper bounds.
+
+/// §7.1 common neighbours: `t = u_max + 1 + 𝟙[u_max = d_r]`.
+pub fn t_common_neighbors(u_max: u64, d_r: u64) -> u64 {
+    u_max + 1 + u64::from(u_max == d_r)
+}
+
+/// §7.1 weighted paths: `t = ⌊u_max⌋ + 2`.
+pub fn t_weighted_paths(u_max: f64) -> u64 {
+    assert!(u_max >= 0.0 && u_max.is_finite());
+    u_max.floor() as u64 + 2
+}
+
+/// Claim 3's graph-level upper bound for common neighbours: `t ≤ d_r + 2`.
+pub fn t_common_neighbors_upper(d_r: u64) -> u64 {
+    d_r + 2
+}
+
+/// Theorem 1's generic upper bound: `t ≤ 4·d_max` for any exchangeable
+/// utility (swap the two nodes' entire neighbourhoods).
+pub fn t_generic_upper(d_max: u64) -> u64 {
+    4 * d_max
+}
+
+/// Appendix A node-identity privacy: one node rewire per step ⇒ `t = 2`.
+pub fn t_node_privacy() -> u64 {
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_neighbors_formula() {
+        assert_eq!(t_common_neighbors(5, 10), 6);
+        assert_eq!(t_common_neighbors(10, 10), 12); // u_max saturates d_r
+        assert_eq!(t_common_neighbors(0, 3), 1);
+    }
+
+    #[test]
+    fn weighted_paths_formula() {
+        assert_eq!(t_weighted_paths(0.0), 2);
+        assert_eq!(t_weighted_paths(2.9), 4);
+        assert_eq!(t_weighted_paths(3.0), 5);
+    }
+
+    #[test]
+    fn per_target_t_never_exceeds_claim3() {
+        // u_max ≤ d_r always (a candidate shares at most d_r neighbours),
+        // so the per-target t is bounded by the proof-level d_r + 2.
+        for d_r in 1u64..40 {
+            for u_max in 0..=d_r {
+                assert!(t_common_neighbors(u_max, d_r) <= t_common_neighbors_upper(d_r));
+            }
+        }
+    }
+
+    #[test]
+    fn generic_bound_dominates_specific() {
+        // d_max ≥ d_r, so 4·d_max ≥ d_r + 2 for d_r ≥ 1.
+        for d in 1u64..100 {
+            assert!(t_generic_upper(d) >= t_common_neighbors_upper(d));
+        }
+    }
+
+    #[test]
+    fn node_privacy_t_is_two() {
+        assert_eq!(t_node_privacy(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Lemma 2 — the `(log n − o(log n))/t` lower bound.
+//!
+//! Proof route (App. B): set `c = 1 − 1/log n`; by concentration (Axiom 2)
+//! the high-utility group has `k = O(β log n)` members; requiring constant
+//! accuracy forces `(k+1)e^{εt} = Ω(n−k)`, which simplifies to
+//! `ε ≥ (ln n − ln β − ln ln n)/t`.
+
+/// Finite-`n` form of Lemma 2: `ε ≥ (ln n − ln β − ln ln n)/t` for a
+/// constant-accuracy, `ε`-DP recommender over a `β`-concentrated utility.
+///
+/// Returns `0` when the logarithmic terms make the bound vacuous at this
+/// `n` (small graphs), mirroring the asymptotic statement's `o(log n)`
+/// slack.
+///
+/// # Panics
+/// Panics unless `n ≥ 3`, `β ≥ 1` and `t ≥ 1`.
+pub fn lemma2_eps_lower_bound(n: usize, beta: usize, t: u64) -> f64 {
+    assert!(n >= 3, "need n >= 3 for ln ln n to be positive");
+    assert!(beta >= 1, "beta must be at least 1");
+    assert!(t >= 1, "t must be at least 1");
+    let n = n as f64;
+    let bound = (n.ln() - (beta as f64).ln() - n.ln().ln()) / t as f64;
+    bound.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_logarithmically_in_n() {
+        let small = lemma2_eps_lower_bound(10_000, 1, 10);
+        let large = lemma2_eps_lower_bound(100_000_000, 1, 10);
+        assert!(large > small);
+        // Dominant term is ln(n)/t.
+        let n: f64 = 1e8;
+        assert!((large - (n.ln() - n.ln().ln()) / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinks_with_t_and_beta() {
+        assert!(lemma2_eps_lower_bound(1_000_000, 1, 5) > lemma2_eps_lower_bound(1_000_000, 1, 50));
+        assert!(
+            lemma2_eps_lower_bound(1_000_000, 1, 5) > lemma2_eps_lower_bound(1_000_000, 100, 5)
+        );
+    }
+
+    #[test]
+    fn vacuous_for_tiny_graphs() {
+        // ln 10 ≈ 2.30, ln ln 10 ≈ 0.83: with β = 10 the bound goes negative
+        // and clamps at zero.
+        assert_eq!(lemma2_eps_lower_bound(10, 10, 1), 0.0);
+    }
+
+    /// The §5.1 consequence the paper quotes: for a graph with n = 10⁶ and
+    /// a target of degree ~ln n, common-neighbour recommenders cannot be
+    /// (much better than) 1-DP. Lemma 2 with t = d_r + 2 is the engine.
+    #[test]
+    fn one_dp_scale_at_log_degree() {
+        let n = 1_000_000usize;
+        let d_r = (n as f64).ln().ceil() as u64; // ≈ 14
+        let eps = lemma2_eps_lower_bound(n, 1, d_r + 2);
+        assert!(eps > 0.6 && eps < 1.1, "eps {eps}");
+    }
+}

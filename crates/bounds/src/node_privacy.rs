@@ -1,0 +1,53 @@
+//! Node-identity privacy (Appendix A).
+//!
+//! Under node differential privacy, neighbouring graphs differ in one
+//! node's entire edge set. The paper's exchange argument then needs only
+//! `t = 2` steps (rewire the lowest node to mimic the top node and vice
+//! versa), giving `ε ≥ (log n − o(log n))/2` for constant accuracy — a
+//! far stronger impossibility than the edge-privacy bounds.
+
+use crate::edit_distance::t_node_privacy;
+use crate::lemma2::lemma2_eps_lower_bound;
+
+/// Finite-`n` node-privacy lower bound: Lemma 2 with `t = 2`.
+pub fn node_privacy_eps_lower(n: usize, beta: usize) -> f64 {
+    lemma2_eps_lower_bound(n, beta, t_node_privacy())
+}
+
+/// Asymptotic form: `ε ≥ ln(n)/2`.
+pub fn node_privacy_eps_lower_asymptotic(n: usize) -> f64 {
+    assert!(n >= 2);
+    (n as f64).ln() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_privacy_is_essentially_impossible() {
+        // Even a modest social graph forces ε ≈ 7.8 — no meaningful
+        // node-private accurate recommender exists (App. A's point).
+        let eps = node_privacy_eps_lower_asymptotic(7_115); // wiki-vote size
+        assert!(eps > 4.0, "eps {eps}");
+        let eps_t = node_privacy_eps_lower_asymptotic(96_403); // twitter size
+        assert!(eps_t > 5.7, "eps {eps_t}");
+    }
+
+    #[test]
+    fn finite_bound_below_asymptotic() {
+        let n = 1_000_000;
+        let fin = node_privacy_eps_lower(n, 1);
+        let asy = node_privacy_eps_lower_asymptotic(n);
+        assert!(fin > 0.0 && fin < asy);
+    }
+
+    #[test]
+    fn node_bound_dwarfs_edge_bound() {
+        let n = 1_000_000usize;
+        let d_r = 150usize; // well-connected target
+        let edge = crate::theorems::theorem2_eps_lower_finite(n, d_r, 1);
+        let node = node_privacy_eps_lower(n, 1);
+        assert!(node > 10.0 * edge, "node {node} vs edge {edge}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Sensitive-edge subsets (§8 "Extensions and Future Work").
+//!
+//! The paper closes by noting that in many settings only *some* edges are
+//! sensitive (people–product links but not people–people links, or
+//! user-flagged edges), and that "our lower bound techniques could be
+//! suitably modified to consider only sensitive edges". This module makes
+//! that modification.
+//!
+//! The Lemma-1 argument promotes a low-utility node with `t` edge
+//! alterations and charges `ε` per alteration *because each alteration is
+//! a DP-neighbouring step*. If only sensitive edges are protected, the
+//! adversary pays only for the sensitive alterations among the `t`: with
+//! `t_s ≤ t` of them sensitive, the likelihood-ratio telescoping gives
+//! `ε ≥ (1/t_s)·[ln((c−δ)/δ) + ln((n−k)/(k+1))]` — the same trade-off at
+//! the *sensitive* edit distance. Fewer protected edges ⇒ larger
+//! denominator stays, smaller `t_s` ⇒ *stronger* lower bound per unit of
+//! protection, but applied to a weaker guarantee (non-sensitive edges are
+//! fully exposed).
+
+use crate::lemma1::{corollary1_accuracy_upper_bound, lemma1_eps_lower_bound};
+
+/// Edge-sensitivity policies for the partial-privacy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensitivityPolicy {
+    /// Every edge is sensitive (the paper's main setting).
+    AllEdges,
+    /// A fixed fraction `rho ∈ (0, 1]` of edges is sensitive, with
+    /// promotions assumed to need sensitive edges in the same proportion
+    /// (the natural model when sensitivity is independent of position).
+    Fraction(
+        /// Sensitive fraction.
+        f64,
+    ),
+    /// Exactly this many of the `t` promoting alterations touch sensitive
+    /// edges (when the sensitive set's structure is known).
+    ExplicitCount(
+        /// Sensitive alterations among the `t`.
+        u64,
+    ),
+}
+
+impl SensitivityPolicy {
+    /// The sensitive edit distance `t_s` this policy induces for a
+    /// promotion needing `t` total alterations. At least 1 when any edge
+    /// is sensitive (an entirely non-sensitive promotion escapes the bound
+    /// altogether and is reported as `None`).
+    pub fn sensitive_t(&self, t: u64) -> Option<u64> {
+        match *self {
+            SensitivityPolicy::AllEdges => Some(t),
+            SensitivityPolicy::Fraction(rho) => {
+                assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+                let t_s = (t as f64 * rho).ceil() as u64;
+                (t_s > 0).then_some(t_s)
+            }
+            SensitivityPolicy::ExplicitCount(t_s) => {
+                assert!(t_s <= t, "sensitive count cannot exceed t");
+                (t_s > 0).then_some(t_s)
+            }
+        }
+    }
+}
+
+/// Lemma 1 under partial sensitivity: `None` when the promotion avoids
+/// sensitive edges entirely (no DP constraint links the two graphs).
+pub fn lemma1_partial(
+    c: f64,
+    delta: f64,
+    n: usize,
+    k: usize,
+    t: u64,
+    policy: SensitivityPolicy,
+) -> Option<f64> {
+    policy.sensitive_t(t).map(|t_s| lemma1_eps_lower_bound(c, delta, n, k, t_s))
+}
+
+/// Corollary 1 under partial sensitivity: the accuracy ceiling when only
+/// `t_s` of the `t` promoting alterations are protected. `None` (no
+/// ceiling) when the promotion needs no sensitive edge.
+pub fn corollary1_partial(
+    eps: f64,
+    t: u64,
+    n: usize,
+    k: usize,
+    c: f64,
+    policy: SensitivityPolicy,
+) -> Option<f64> {
+    policy.sensitive_t(t).map(|t_s| corollary1_accuracy_upper_bound(eps, t_s, n, k, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_edges_matches_plain_lemma1() {
+        let plain = lemma1_eps_lower_bound(0.9, 0.2, 100_000, 10, 20);
+        let partial =
+            lemma1_partial(0.9, 0.2, 100_000, 10, 20, SensitivityPolicy::AllEdges).unwrap();
+        assert_eq!(plain, partial);
+    }
+
+    #[test]
+    fn fewer_sensitive_edges_strengthen_the_eps_floor() {
+        // Counter-intuitive but correct: if promoting a node only needs 2
+        // protected alterations (the rest being public), the adversary's
+        // likelihood budget telescopes over 2 steps, so ε per step must be
+        // larger to permit the same accuracy.
+        let full = lemma1_partial(0.9, 0.2, 100_000, 10, 20, SensitivityPolicy::AllEdges).unwrap();
+        let sparse =
+            lemma1_partial(0.9, 0.2, 100_000, 10, 20, SensitivityPolicy::ExplicitCount(2))
+                .unwrap();
+        assert!(sparse > full);
+    }
+
+    #[test]
+    fn fraction_policy_rounds_up() {
+        assert_eq!(SensitivityPolicy::Fraction(0.5).sensitive_t(5), Some(3));
+        assert_eq!(SensitivityPolicy::Fraction(1.0).sensitive_t(5), Some(5));
+        assert_eq!(SensitivityPolicy::Fraction(0.0).sensitive_t(5), None);
+    }
+
+    #[test]
+    fn non_sensitive_promotion_escapes_the_bound() {
+        assert_eq!(
+            corollary1_partial(1.0, 10, 1000, 5, 0.9, SensitivityPolicy::ExplicitCount(0)),
+            None
+        );
+    }
+
+    #[test]
+    fn ceiling_tightens_as_sensitive_fraction_shrinks() {
+        let mut prev = 1.0;
+        for rho in [1.0, 0.5, 0.2, 0.1] {
+            let ceil = corollary1_partial(1.0, 20, 100_000, 5, 0.9, SensitivityPolicy::Fraction(rho))
+                .unwrap();
+            assert!(ceil <= prev + 1e-12, "rho {rho}: {ceil} > {prev}");
+            prev = ceil;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed t")]
+    fn explicit_count_validated() {
+        let _ = SensitivityPolicy::ExplicitCount(30).sensitive_t(20);
+    }
+}

@@ -1,0 +1,64 @@
+//! Theorem 5 (Appendix F): the smoothing mechanism's trade-off, stated as
+//! pure formulas so the bounds crate stays independent of the mechanism
+//! implementation in `psr-privacy` (which carries the executable version).
+
+/// Privacy of `A_S(x)` over `n` candidates: `ε = ln(1 + nx/(1−x))`.
+pub fn smoothing_epsilon(x: f64, n: usize) -> f64 {
+    assert!((0.0..1.0).contains(&x), "x must be in [0,1)");
+    (n as f64 * x / (1.0 - x)).ln_1p()
+}
+
+/// Theorem 5 accuracy guarantee: `x·μ` for a `μ`-accurate base algorithm.
+pub fn smoothing_accuracy(x: f64, mu: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&mu));
+    x * mu
+}
+
+/// The closing remark's calibration: `2c·ln n`-DP requires
+/// `x = (n^{2c} − 1)/(n^{2c} − 1 + n)`.
+pub fn smoothing_x_for_log_privacy(c: f64, n: usize) -> f64 {
+    assert!(c > 0.0 && n >= 2);
+    let p = (n as f64).powf(2.0 * c) - 1.0;
+    p / (p + n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_round_trips() {
+        let (c, n) = (0.3, 10_000usize);
+        let x = smoothing_x_for_log_privacy(c, n);
+        let eps = smoothing_epsilon(x, n);
+        assert!((eps - 2.0 * c * (n as f64).ln()).abs() < 1e-6);
+    }
+
+    /// The quantitative takeaway of Appendix F: privacy *sub-logarithmic*
+    /// in n forces x (hence accuracy) to collapse.
+    #[test]
+    fn constant_eps_kills_accuracy_at_scale() {
+        let n = 96_403usize; // twitter-like
+        // For ε = 1: x = (e − 1)/(e − 1 + n) ≈ 1.8e-5.
+        let mut lo = 0.0;
+        let mut hi = 1.0 - 1e-12;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if smoothing_epsilon(mid, n) < 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let x = lo;
+        assert!(x < 2e-5, "x {x}");
+        assert!(smoothing_accuracy(x, 1.0) < 2e-5);
+    }
+
+    #[test]
+    fn accuracy_scales_linearly_in_x() {
+        assert_eq!(smoothing_accuracy(0.25, 0.8), 0.2);
+        assert_eq!(smoothing_accuracy(0.0, 1.0), 0.0);
+        assert_eq!(smoothing_accuracy(1.0, 1.0), 1.0);
+    }
+}

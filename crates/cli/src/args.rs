@@ -1,0 +1,338 @@
+//! Hand-rolled argument parsing (no CLI crates in the allowed set).
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  psr figure <1a|1b|2a|2b|2c|lap-vs-exp|lemma3|smoothing> [options]
+  psr claims [options]            re-derive the §7.2 headline claims
+  psr bounds <example|theorems|planner>
+  psr dataset <wiki|twitter> [options]
+  psr recommend --target <id> [--target <id> ...] [recommend options]
+
+recommend options:
+  --input <path>    SNAP edge list to serve from (default: generated preset)
+  --directed        treat the input file as directed
+  --preset <name>   wiki|twitter when no --input (default wiki)
+  --utility <name>  common-neighbors|weighted-paths (default common-neighbors)
+  --gamma <f64>     weighted-paths damping (default 0.005)
+  --mechanism <m>   exponential|laplace (default exponential)
+  --epsilon <f64>   privacy budget (default 1.0)
+
+options:
+  --scale <0..1]   dataset scale relative to the paper (default 1.0)
+  --seed <u64>     master seed (default 42)
+  --laplace        also evaluate the Laplace mechanism (slower)
+  --trials <u32>   Laplace Monte-Carlo trials (default 1000)
+  --threads <n>    worker threads (default: all cores)
+  --json <path>    also write the result as JSON";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `psr figure <id> …`
+    Figure {
+        /// Figure identifier.
+        id: String,
+        /// Common options.
+        opts: Options,
+    },
+    /// `psr claims …`
+    Claims {
+        /// Common options.
+        opts: Options,
+    },
+    /// `psr bounds <topic>`
+    Bounds {
+        /// Which bound table to print.
+        topic: String,
+    },
+    /// `psr dataset <name> …`
+    Dataset {
+        /// Preset name.
+        name: String,
+        /// Common options.
+        opts: Options,
+    },
+    /// `psr recommend …`
+    Recommend {
+        /// Serving options.
+        opts: RecommendOptions,
+    },
+}
+
+/// Options for the `recommend` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendOptions {
+    /// Targets to serve.
+    pub targets: Vec<u32>,
+    /// SNAP edge-list path (None = preset).
+    pub input: Option<String>,
+    /// Whether the input file is directed.
+    pub directed: bool,
+    /// Preset name when no input file.
+    pub preset: String,
+    /// Dataset scale for presets.
+    pub scale: f64,
+    /// Utility function name.
+    pub utility: String,
+    /// Weighted-paths damping.
+    pub gamma: f64,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RecommendOptions {
+    fn default() -> Self {
+        RecommendOptions {
+            targets: Vec::new(),
+            input: None,
+            directed: false,
+            preset: "wiki".to_owned(),
+            scale: 1.0,
+            utility: "common-neighbors".to_owned(),
+            gamma: 0.005,
+            mechanism: "exponential".to_owned(),
+            epsilon: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_recommend(rest: &[String]) -> Result<RecommendOptions, String> {
+    let mut opts = RecommendOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--target" => opts
+                .targets
+                .push(value("--target")?.parse().map_err(|e| format!("--target: {e}"))?),
+            "--input" => opts.input = Some(value("--input")?.clone()),
+            "--directed" => opts.directed = true,
+            "--preset" => {
+                opts.preset = value("--preset")?.clone();
+                if !["wiki", "twitter"].contains(&opts.preset.as_str()) {
+                    return Err(format!("unknown preset {:?}", opts.preset));
+                }
+            }
+            "--scale" => {
+                opts.scale =
+                    value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--utility" => {
+                opts.utility = value("--utility")?.clone();
+                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
+                    return Err(format!("unknown utility {:?}", opts.utility));
+                }
+            }
+            "--gamma" => {
+                opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--mechanism" => {
+                opts.mechanism = value("--mechanism")?.clone();
+                if !["exponential", "laplace"].contains(&opts.mechanism.as_str()) {
+                    return Err(format!("unknown mechanism {:?}", opts.mechanism));
+                }
+            }
+            "--epsilon" => {
+                opts.epsilon =
+                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
+                if opts.epsilon <= 0.0 {
+                    return Err("--epsilon must be positive".into());
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown recommend option {other:?}")),
+        }
+    }
+    if opts.targets.is_empty() {
+        return Err("recommend: at least one --target is required".into());
+    }
+    Ok(opts)
+}
+
+/// Options shared by data-bearing subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Dataset scale in (0, 1].
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Evaluate the Laplace mechanism.
+    pub laplace: bool,
+    /// Laplace trials.
+    pub trials: u32,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 1.0, seed: 42, laplace: false, trials: 1000, threads: None, json: None }
+    }
+}
+
+/// Parses argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "figure" => {
+            let id = it.next().ok_or("figure: missing id")?.clone();
+            const KNOWN: [&str; 8] =
+                ["1a", "1b", "2a", "2b", "2c", "lap-vs-exp", "lemma3", "smoothing"];
+            if !KNOWN.contains(&id.as_str()) {
+                return Err(format!("unknown figure {id:?} (expected one of {KNOWN:?})"));
+            }
+            Ok(Command::Figure { id, opts: parse_options(it.as_slice())? })
+        }
+        "claims" => Ok(Command::Claims { opts: parse_options(it.as_slice())? }),
+        "bounds" => {
+            let topic = it.next().ok_or("bounds: missing topic")?.clone();
+            if !["example", "theorems", "planner"].contains(&topic.as_str()) {
+                return Err(format!("unknown bounds topic {topic:?}"));
+            }
+            if it.next().is_some() {
+                return Err("bounds takes no options".into());
+            }
+            Ok(Command::Bounds { topic })
+        }
+        "recommend" => Ok(Command::Recommend { opts: parse_recommend(it.as_slice())? }),
+        "dataset" => {
+            let name = it.next().ok_or("dataset: missing name")?.clone();
+            if !["wiki", "twitter"].contains(&name.as_str()) {
+                return Err(format!("unknown dataset {name:?} (expected wiki|twitter)"));
+            }
+            Ok(Command::Dataset { name, opts: parse_options(it.as_slice())? })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_options(rest: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--trials" => {
+                opts.trials = value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--json" => opts.json = Some(value("--json")?.clone()),
+            "--laplace" => opts.laplace = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_figure_with_options() {
+        let cmd = parse(&argv("figure 1a --scale 0.5 --seed 7 --laplace --json out.json")).unwrap();
+        match cmd {
+            Command::Figure { id, opts } => {
+                assert_eq!(id, "1a");
+                assert_eq!(opts.scale, 0.5);
+                assert_eq!(opts.seed, 7);
+                assert!(opts.laplace);
+                assert_eq!(opts.json.as_deref(), Some("out.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_figure_and_flag() {
+        assert!(parse(&argv("figure 9z")).is_err());
+        assert!(parse(&argv("figure 1a --bogus")).is_err());
+        assert!(parse(&argv("figure 1a --scale nope")).is_err());
+        assert!(parse(&argv("figure 1a --scale 2.0")).is_err());
+    }
+
+    #[test]
+    fn parses_other_subcommands() {
+        assert!(matches!(parse(&argv("claims")).unwrap(), Command::Claims { .. }));
+        assert!(matches!(parse(&argv("bounds example")).unwrap(), Command::Bounds { .. }));
+        assert!(matches!(parse(&argv("dataset wiki --scale 0.1")).unwrap(), Command::Dataset { .. }));
+        assert!(parse(&argv("bounds nope")).is_err());
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("nonsense")).is_err());
+    }
+
+    #[test]
+    fn parses_recommend() {
+        let cmd = parse(&argv(
+            "recommend --target 3 --target 9 --mechanism laplace --epsilon 0.5 --preset twitter",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Recommend { opts } => {
+                assert_eq!(opts.targets, vec![3, 9]);
+                assert_eq!(opts.mechanism, "laplace");
+                assert_eq!(opts.epsilon, 0.5);
+                assert_eq!(opts.preset, "twitter");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn recommend_requires_targets_and_validates() {
+        assert!(parse(&argv("recommend")).is_err());
+        assert!(parse(&argv("recommend --target 1 --mechanism bogus")).is_err());
+        assert!(parse(&argv("recommend --target 1 --epsilon -1")).is_err());
+        assert!(parse(&argv("recommend --target 1 --utility nope")).is_err());
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let cmd = parse(&argv("figure 2a")).unwrap();
+        match cmd {
+            Command::Figure { opts, .. } => {
+                assert_eq!(opts.scale, 1.0);
+                assert_eq!(opts.seed, 42);
+                assert!(!opts.laplace);
+                assert_eq!(opts.trials, 1000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

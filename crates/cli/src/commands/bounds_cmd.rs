@@ -1,0 +1,76 @@
+//! `psr bounds` — print the paper's analytic tables.
+
+use psr_bounds::corollary1_accuracy_upper_bound;
+use psr_bounds::theorems::{
+    theorem1_eps_lower_asymptotic, theorem2_eps_lower_finite, theorem3_eps_lower_finite,
+};
+use psr_bounds::{lemma1_eps_lower_bound, lemma2_eps_lower_bound};
+
+pub fn run(topic: &str) {
+    match topic {
+        "example" => example(),
+        "theorems" => theorems(),
+        "planner" => planner(),
+        other => unreachable!("arg parser admits only known topics, got {other}"),
+    }
+}
+
+/// §4.2's worked example, regenerated.
+fn example() {
+    println!("§4.2 worked example: n = 4·10⁸, c = 0.99, k = 100, t = 150");
+    println!("{:>8} {:>22}", "ε", "max accuracy (Cor. 1)");
+    for eps in [0.01, 0.05, 0.1, 0.5, 1.0] {
+        let bound = corollary1_accuracy_upper_bound(eps, 150, 400_000_000, 100, 0.99);
+        println!("{eps:>8.2} {bound:>22.4}");
+    }
+    println!("\npaper: at ε = 0.1 no algorithm can exceed ≈ 0.46");
+}
+
+/// Theorem 1/2/3 ε floors at representative parameters.
+fn theorems() {
+    println!("Theorem 1 (any utility): ε ≥ 1/(4α) for d_max = α·ln n");
+    println!("{:>8} {:>12}", "α", "ε floor");
+    for alpha in [0.5, 1.0, 2.0, 5.0] {
+        println!("{alpha:>8.1} {:>12.4}", theorem1_eps_lower_asymptotic(alpha));
+    }
+
+    let n = 96_403usize; // the paper's larger graph
+    println!("\nTheorem 2 (common neighbours), n = {n}, finite-n Lemma 2 with t = d_r + 2:");
+    println!("{:>10} {:>12}", "d_r", "ε floor");
+    for d_r in [2usize, 5, 12, 30, 100, 500] {
+        println!("{d_r:>10} {:>12.4}", theorem2_eps_lower_finite(n, d_r, 1));
+    }
+
+    println!("\nTheorem 3 (weighted paths), n = {n}, d_r = 12:");
+    println!("{:>14} {:>12}", "s = γ·d_max", "ε floor");
+    for s in [0.0001, 0.001, 0.01, 0.05, 0.1, 0.2] {
+        match theorem3_eps_lower_finite(n, 12, 1, s) {
+            Some(eps) => println!("{s:>14} {eps:>12.4}"),
+            None => println!("{s:>14} {:>12}", "degenerate"),
+        }
+    }
+
+    println!("\nNode-identity privacy (App. A): ε ≥ (ln n − o(ln n))/2");
+    for n in [7_115usize, 96_403, 400_000_000] {
+        println!(
+            "  n = {n:>11}: ε ≥ {:.2}",
+            psr_bounds::node_privacy::node_privacy_eps_lower(n, 1)
+        );
+    }
+}
+
+/// Lemma 1 inverted: ε needed for target accuracies.
+fn planner() {
+    let (n, k, t) = (10_000_000usize, 100usize, 150u64);
+    println!("ε floors for accuracy targets (Lemma 1; n = {n}, k = {k}, t = {t}, c = 0.99):");
+    println!("{:>12} {:>10}", "accuracy", "ε floor");
+    for acc in [0.25, 0.5, 0.75, 0.9, 0.99] {
+        let eps = lemma1_eps_lower_bound(0.99, 1.0 - acc, n, k, t);
+        println!("{acc:>12.2} {eps:>10.4}");
+    }
+    println!("\nLemma 2 scaling (β = 1): ε ≥ (ln n − ln ln n)/t");
+    println!("{:>14} {:>8} {:>10}", "n", "t", "ε floor");
+    for (n, t) in [(100_000usize, 10u64), (1_000_000, 10), (1_000_000, 100), (100_000_000, 100)] {
+        println!("{n:>14} {t:>8} {:>10.4}", lemma2_eps_lower_bound(n, 1, t));
+    }
+}

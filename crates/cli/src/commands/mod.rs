@@ -1,0 +1,20 @@
+//! Command implementations.
+
+mod bounds_cmd;
+mod claims_cmd;
+mod dataset_cmd;
+mod figure_cmd;
+mod recommend_cmd;
+
+use crate::args::Command;
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Command) {
+    match cmd {
+        Command::Figure { id, opts } => figure_cmd::run(&id, &opts),
+        Command::Claims { opts } => claims_cmd::run(&opts),
+        Command::Bounds { topic } => bounds_cmd::run(&topic),
+        Command::Dataset { name, opts } => dataset_cmd::run(&name, &opts),
+        Command::Recommend { opts } => recommend_cmd::run(&opts),
+    }
+}

@@ -1,0 +1,30 @@
+//! `psr` — run any experiment from the reproduction of
+//! "Personalized Social Recommendations — Accurate or Private?".
+//!
+//! ```text
+//! psr figure <1a|1b|2a|2b|2c|lap-vs-exp|lemma3|smoothing> [--scale S] [--seed N]
+//!            [--laplace] [--json PATH]
+//! psr bounds <example|theorems|planner>
+//! psr claims [--scale S] [--seed N]
+//! psr dataset <wiki|twitter> [--scale S] [--seed N]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => {
+            commands::run(cmd);
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Accuracy CDFs — the y-axis of every figure in §7.
+//!
+//! The paper plots, for each accuracy level `1−δ` on a 0.1 grid, the
+//! fraction of target nodes receiving recommendations of accuracy at most
+//! `1−δ`.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical CDF over per-target accuracies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyCdf {
+    /// Sorted accuracy values.
+    sorted: Vec<f64>,
+}
+
+impl AccuracyCdf {
+    /// Builds a CDF from raw per-target accuracies.
+    ///
+    /// # Panics
+    /// Panics when `values` is empty or contains non-finite entries.
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "CDF needs at least one observation");
+        assert!(values.iter().all(|v| v.is_finite()), "accuracies must be finite");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        AccuracyCdf { sorted: values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of targets with accuracy ≤ `x`.
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The paper's plotting grid: `(accuracy, % of nodes ≤ accuracy)` at
+    /// 0.0, 0.1, …, 1.0.
+    pub fn paper_series(&self) -> Vec<(f64, f64)> {
+        (0..=10).map(|i| i as f64 / 10.0).map(|x| (x, self.fraction_at_most(x))).collect()
+    }
+
+    /// Quantile (e.g. `0.5` = median accuracy).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Mean accuracy.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdf() -> AccuracyCdf {
+        AccuracyCdf::new(vec![0.05, 0.15, 0.35, 0.55, 0.95])
+    }
+
+    #[test]
+    fn fractions_match_hand_count() {
+        let c = cdf();
+        assert_eq!(c.fraction_at_most(0.0), 0.0);
+        assert_eq!(c.fraction_at_most(0.1), 0.2);
+        assert_eq!(c.fraction_at_most(0.5), 0.6);
+        assert_eq!(c.fraction_at_most(1.0), 1.0);
+    }
+
+    #[test]
+    fn boundary_values_are_inclusive() {
+        let c = AccuracyCdf::new(vec![0.1, 0.1, 0.2]);
+        assert!((c.fraction_at_most(0.1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_series_has_eleven_points_and_is_monotone() {
+        let series = cdf().paper_series();
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].0, 0.0);
+        assert_eq!(series[10].0, 1.0);
+        assert!(series.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert_eq!(series[10].1, 1.0);
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let c = cdf();
+        assert_eq!(c.quantile(0.0), 0.05);
+        assert_eq!(c.quantile(0.5), 0.35);
+        assert_eq!(c.quantile(1.0), 0.95);
+        assert!((c.mean() - 0.41).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_rejected() {
+        let _ = AccuracyCdf::new(vec![]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figures 1(a) and 1(b): accuracy CDFs under the common-neighbours
+//! utility.
+
+use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_utility::CommonNeighbors;
+
+use super::{cdf_figure, FigureConfig, FigureResult};
+
+/// Figure 1(a): Wikipedia-vote-like graph, common neighbours,
+/// ε ∈ {0.5, 1}, 10% of nodes as targets. Series: Exponential mechanism
+/// accuracy CDF and the Corollary-1 bound CDF per ε.
+pub fn fig1a(cfg: &FigureConfig) -> FigureResult {
+    let (graph, meta) = wiki_vote_like(PresetConfig::scaled(cfg.scale, cfg.seed))
+        .expect("preset generation cannot fail at valid scales");
+    let (figure, _) = cdf_figure(
+        "fig1a",
+        &format!("Accuracy CDF, # common neighbors utility, {}", meta.summary()),
+        &graph,
+        &CommonNeighbors,
+        &[0.5, 1.0],
+        0.10,
+        cfg,
+    );
+    figure
+}
+
+/// Figure 1(b): Twitter-like graph, common neighbours, ε ∈ {1, 3}, 1% of
+/// nodes as targets.
+pub fn fig1b(cfg: &FigureConfig) -> FigureResult {
+    let (graph, meta) = twitter_like(PresetConfig::scaled(cfg.scale, cfg.seed))
+        .expect("preset generation cannot fail at valid scales");
+    let (figure, _) = cdf_figure(
+        "fig1b",
+        &format!("Accuracy CDF, # common neighbors utility, {}", meta.summary()),
+        &graph,
+        &CommonNeighbors,
+        &[1.0, 3.0],
+        0.01,
+        cfg,
+    );
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_smoke_structure() {
+        let fig = fig1a(&FigureConfig::smoke(0.05, 7));
+        assert_eq!(fig.id, "fig1a");
+        assert_eq!(fig.series.len(), 4); // (Exponential + Bound) × 2 ε
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 11);
+            // CDFs end at 100%.
+            assert_eq!(s.points[10].1, 1.0);
+            // Monotone.
+            assert!(s.points.windows(2).all(|w| w[1].1 >= w[0].1));
+        }
+    }
+
+    #[test]
+    fn fig1a_lenient_eps_dominates_strict() {
+        // At every accuracy level, the ε=1 CDF must sit at or below the
+        // ε=0.5 CDF (fewer nodes stuck at low accuracy).
+        let fig = fig1a(&FigureConfig::smoke(0.05, 7));
+        let strict = &fig.series[0]; // Exponential ε=0.5
+        let lenient = &fig.series[2]; // Exponential ε=1
+        assert!(strict.label.contains("0.5") && lenient.label.contains("ε=1"));
+        // Compare at mid-grid accuracy levels; allow tiny sampling slack.
+        for i in 1..10 {
+            assert!(
+                lenient.points[i].1 <= strict.points[i].1 + 0.05,
+                "at x={}: lenient {} vs strict {}",
+                strict.points[i].0,
+                lenient.points[i].1,
+                strict.points[i].1
+            );
+        }
+    }
+
+    #[test]
+    fn fig1b_smoke_structure() {
+        let fig = fig1b(&FigureConfig::smoke(0.02, 7));
+        assert_eq!(fig.id, "fig1b");
+        assert_eq!(fig.series.len(), 4);
+        assert!(fig.caption.contains("twitter-like"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Figures 2(a)–2(c): weighted-paths CDFs and the degree-vs-accuracy view.
+
+use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_utility::{CommonNeighbors, WeightedPaths};
+
+use super::{cdf_figure, FigureConfig, FigureResult, Series};
+use crate::experiment::run_experiment;
+
+/// Figure 2(a): Wiki-like graph, weighted paths with γ ∈ {0.0005, 0.05},
+/// ε = 1, 10% targets. Series per γ: Exponential + theoretical bound.
+pub fn fig2a(cfg: &FigureConfig) -> FigureResult {
+    let (graph, meta) = wiki_vote_like(PresetConfig::scaled(cfg.scale, cfg.seed)).expect("preset");
+    weighted_paths_figure("fig2a", &meta.summary(), &graph, 0.10, cfg)
+}
+
+/// Figure 2(b): Twitter-like graph, weighted paths, same parameters, 1%
+/// targets.
+pub fn fig2b(cfg: &FigureConfig) -> FigureResult {
+    let (graph, meta) = twitter_like(PresetConfig::scaled(cfg.scale, cfg.seed)).expect("preset");
+    weighted_paths_figure("fig2b", &meta.summary(), &graph, 0.01, cfg)
+}
+
+fn weighted_paths_figure(
+    id: &str,
+    graph_summary: &str,
+    graph: &psr_graph::Graph,
+    target_fraction: f64,
+    cfg: &FigureConfig,
+) -> FigureResult {
+    let mut series = Vec::new();
+    for gamma in [0.0005, 0.05] {
+        let wp = WeightedPaths::paper(gamma);
+        let (fig, _) = cdf_figure(id, "", graph, &wp, &[1.0], target_fraction, cfg);
+        for mut s in fig.series {
+            s.label = s.label.replace("ε=1", &format!("γ={gamma}"));
+            series.push(s);
+        }
+    }
+    FigureResult {
+        id: id.to_owned(),
+        caption: format!("Accuracy CDF, weighted paths utility, ε = 1, {graph_summary}"),
+        x_label: "accuracy".to_owned(),
+        series,
+    }
+}
+
+/// Figure 2(c): mean accuracy as a function of target degree
+/// (Wiki-like graph, common neighbours, ε = 0.5) for the Exponential
+/// mechanism and the theoretical bound. Degrees are binned
+/// logarithmically, mirroring the paper's log-scale x-axis.
+pub fn fig2c(cfg: &FigureConfig) -> FigureResult {
+    let (graph, meta) = wiki_vote_like(PresetConfig::scaled(cfg.scale, cfg.seed)).expect("preset");
+    let result = run_experiment(&graph, &CommonNeighbors, &cfg.experiment(0.5, 0.10));
+    assert!(!result.evaluations.is_empty(), "no usable targets — scale too small?");
+
+    // Log-spaced degree bins: [1,2), [2,4), [4,8), …
+    let max_degree = result.evaluations.iter().map(|e| e.degree).max().unwrap_or(1);
+    let num_bins = (max_degree as f64).log2().ceil() as usize + 1;
+    let mut acc_exp = vec![Vec::new(); num_bins];
+    let mut acc_bound = vec![Vec::new(); num_bins];
+    for e in &result.evaluations {
+        let bin = (e.degree.max(1) as f64).log2().floor() as usize;
+        acc_exp[bin].push(e.accuracy_exponential);
+        acc_bound[bin].push(e.accuracy_bound);
+    }
+    let to_series = |label: &str, data: &[Vec<f64>]| Series {
+        label: label.to_owned(),
+        points: data
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(bin, v)| {
+                let centre = 2f64.powi(bin as i32) * 1.5; // geometric bin centre
+                (centre, v.iter().sum::<f64>() / v.len() as f64)
+            })
+            .collect(),
+    };
+    FigureResult {
+        id: "fig2c".to_owned(),
+        caption: format!(
+            "Mean accuracy vs target degree, # common neighbors, ε = 0.5, {}",
+            meta.summary()
+        ),
+        x_label: "degree".to_owned(),
+        series: vec![
+            to_series("Exponential mechanism", &acc_exp),
+            to_series("Theoretical Bound", &acc_bound),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_has_four_series() {
+        let fig = fig2a(&FigureConfig::smoke(0.05, 7));
+        assert_eq!(fig.series.len(), 4);
+        assert!(fig.series[0].label.contains("γ=0.0005"));
+        assert!(fig.series[2].label.contains("γ=0.05"));
+    }
+
+    #[test]
+    fn fig2c_degree_trend() {
+        let fig = fig2c(&FigureConfig::smoke(0.08, 7));
+        assert_eq!(fig.series.len(), 2);
+        let exp = &fig.series[0];
+        assert!(exp.points.len() >= 3, "expected several degree bins");
+        // x-coordinates strictly increasing (bin centres).
+        assert!(exp.points.windows(2).all(|w| w[1].0 > w[0].0));
+        // The paper's point: the lowest-degree bin is (much) worse than the
+        // best bin.
+        let first = exp.points.first().unwrap().1;
+        let best = exp.points.iter().map(|p| p.1).fold(0.0, f64::max);
+        assert!(best >= first, "low-degree nodes should not dominate");
+    }
+}

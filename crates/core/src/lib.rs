@@ -1,0 +1,53 @@
+//! # private-social-recs
+//!
+//! A full reproduction of **"Personalized Social Recommendations —
+//! Accurate or Private?"** (Machanavajjhala, Korolova, Das Sarma;
+//! PVLDB 4(7), 2011) as a production-quality Rust library.
+//!
+//! The paper asks whether recommendations computed *solely from a social
+//! graph's links* can be simultaneously accurate and edge-differentially
+//! private, and answers mostly negatively: it proves trade-off lower
+//! bounds, adapts the Laplace and Exponential mechanisms, and measures
+//! both against the bounds on real graphs. This crate ties the workspace
+//! together:
+//!
+//! * [`Recommender`] — serve a single ε-private recommendation for a
+//!   target node (the paper's deliverable, as an API),
+//! * [`experiment`] — the §7 protocol: sample targets, compute per-target
+//!   expected accuracies and theoretical ceilings, in parallel,
+//! * [`figures`] — one harness per figure (1(a)–2(c)) plus the in-text
+//!   comparisons, regenerating the paper's series,
+//! * [`cdf`]/[`report`] — the accuracy-CDF aggregation and text rendering
+//!   used for EXPERIMENTS.md.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use psr_core::{Recommender, RecommenderConfig};
+//! use psr_datasets::toy::karate_club;
+//! use psr_utility::CommonNeighbors;
+//! use psr_privacy::ExponentialMechanism;
+//!
+//! let graph = karate_club();
+//! let rec = Recommender::new(
+//!     graph,
+//!     Box::new(CommonNeighbors),
+//!     Box::new(ExponentialMechanism::paper()),
+//!     RecommenderConfig { epsilon: 1.0, ..Default::default() },
+//! );
+//! let mut rng = rand::thread_rng();
+//! let suggestion = rec.recommend(0, &mut rng).unwrap();
+//! assert!(suggestion != 0);
+//! ```
+
+pub mod cdf;
+pub mod experiment;
+pub mod figures;
+mod pipeline;
+pub mod report;
+
+pub use cdf::AccuracyCdf;
+pub use experiment::{
+    evaluate_target, run_experiment, ExperimentConfig, ExperimentResult, TargetEvaluation,
+};
+pub use pipeline::{Recommender, RecommenderConfig};

@@ -1,0 +1,137 @@
+//! Text rendering of figure data and the §7.2 headline claims.
+
+use crate::cdf::AccuracyCdf;
+use crate::figures::{FigureResult, Series};
+
+/// Renders a figure as an aligned text table: one row per accuracy grid
+/// point, one column per series — the same rows/series the paper plots.
+pub fn render_figure(figure: &FigureResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\n{}\n", figure.id, figure.caption));
+    out.push_str(&format!("{:>10}", figure.x_label));
+    for s in &figure.series {
+        out.push_str(&format!("  {:>26}", s.label));
+    }
+    out.push('\n');
+    let grid_len = figure.series.first().map_or(0, |s| s.points.len());
+    for i in 0..grid_len {
+        let x = figure.series[0].points[i].0;
+        out.push_str(&format!("{x:>10.2}"));
+        for s in &figure.series {
+            out.push_str(&format!("  {:>25.1}%", s.points[i].1 * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One §7.2-style headline claim derived from a CDF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineClaim {
+    /// Human-readable statement.
+    pub statement: String,
+    /// Fraction of nodes below the threshold.
+    pub fraction: f64,
+    /// The accuracy threshold.
+    pub threshold: f64,
+}
+
+/// Extracts "X% of nodes receive accuracy below Y" claims at the paper's
+/// favourite thresholds.
+pub fn headline_claims(label: &str, cdf: &AccuracyCdf) -> Vec<HeadlineClaim> {
+    [0.01, 0.1, 0.3, 0.5, 0.9]
+        .iter()
+        .map(|&threshold| {
+            let fraction = cdf.fraction_at_most(threshold);
+            HeadlineClaim {
+                statement: format!(
+                    "{label}: {:.0}% of nodes receive accuracy ≤ {threshold}",
+                    fraction * 100.0
+                ),
+                fraction,
+                threshold,
+            }
+        })
+        .collect()
+}
+
+/// Renders a two-mechanism comparison table (the §7.2 "Laplace performs as
+/// well as Exponential" check): per-quantile accuracies and the largest
+/// per-target gap.
+pub fn render_mechanism_comparison(
+    exp: &[f64],
+    lap: &[f64],
+    per_target_gap: Option<f64>,
+) -> String {
+    let e = AccuracyCdf::new(exp.to_vec());
+    let l = AccuracyCdf::new(lap.to_vec());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14}\n",
+        "quantile", "exponential", "laplace"
+    ));
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        out.push_str(&format!("{q:>12.2} {:>14.4} {:>14.4}\n", e.quantile(q), l.quantile(q)));
+    }
+    out.push_str(&format!("{:>12} {:>14.4} {:>14.4}\n", "mean", e.mean(), l.mean()));
+    if let Some(gap) = per_target_gap {
+        out.push_str(&format!("max per-target |gap|: {gap:.4}\n"));
+    }
+    out
+}
+
+/// Builds a [`Series`] from per-target accuracies on the paper grid.
+pub fn cdf_series(label: impl Into<String>, accuracies: Vec<f64>) -> Series {
+    let cdf = AccuracyCdf::new(accuracies);
+    Series { label: label.into(), points: cdf.paper_series() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure() -> FigureResult {
+        FigureResult {
+            id: "fig-test".into(),
+            caption: "test figure".into(),
+            x_label: "accuracy".into(),
+            series: vec![
+                cdf_series("mech ε=1", vec![0.1, 0.2, 0.9]),
+                cdf_series("bound ε=1", vec![0.3, 0.5, 0.95]),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_labels() {
+        let text = render_figure(&figure());
+        assert!(text.contains("fig-test"));
+        assert!(text.contains("mech ε=1"));
+        assert!(text.contains("bound ε=1"));
+        // 11 grid rows + 2 header lines + caption line.
+        assert_eq!(text.lines().count(), 14);
+        assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn headline_claims_track_cdf() {
+        let cdf = AccuracyCdf::new(vec![0.05, 0.05, 0.2, 0.8]);
+        let claims = headline_claims("wiki ε=0.5", &cdf);
+        assert_eq!(claims.len(), 5);
+        let at_01 = claims.iter().find(|c| c.threshold == 0.1).unwrap();
+        assert_eq!(at_01.fraction, 0.5);
+        assert!(at_01.statement.contains("50%"));
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let text = render_mechanism_comparison(
+            &[0.5, 0.6, 0.7],
+            &[0.49, 0.61, 0.69],
+            Some(0.012),
+        );
+        assert!(text.contains("exponential"));
+        assert!(text.contains("max per-target"));
+        assert!(text.contains("0.012"));
+    }
+}

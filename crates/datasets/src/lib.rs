@@ -1,0 +1,60 @@
+//! Dataset layer for the reproduction.
+//!
+//! The paper evaluates on two graphs we cannot redistribute:
+//!
+//! * **Wikipedia vote network** `G_WV` — 7,115 nodes, 100,762 edges after
+//!   symmetrisation (SNAP `wiki-Vote`),
+//! * **Twitter connections sample** `G_T` — 96,403 nodes, 489,986 directed
+//!   edges, maximum degree 13,181 (from Silberstein et al. [25]).
+//!
+//! [`wiki_vote_like`] and [`twitter_like`] generate synthetic stand-ins
+//! with matched node/edge counts, heavy-tailed degree structure, and (for
+//! the Twitter preset) a forced 13k-degree hub; DESIGN.md §3 argues why
+//! this preserves every behaviour the experiments measure. When the real
+//! SNAP files are available, [`load_snap`] drops them in transparently.
+//! [`toy::karate_club`] ships a small classic graph for examples and
+//! tests.
+
+pub mod meta;
+pub mod presets;
+pub mod toy;
+
+pub use meta::DatasetMeta;
+pub use presets::{twitter_like, wiki_vote_like, PresetConfig};
+
+use std::path::Path;
+
+use psr_graph::{Direction, Graph, Result};
+
+/// Loads a SNAP-format edge list from disk (comments with `#`, whitespace
+/// separated pairs, arbitrary ids), compacting node ids. Use
+/// `Direction::Undirected` for `wiki-Vote.txt` to apply the paper's
+/// symmetrisation.
+pub fn load_snap(path: &Path, direction: Direction) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    let (graph, _ids) = psr_graph::io::read_edge_list(file, direction)?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_snap_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("psr-datasets-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.txt");
+        std::fs::write(&path, "# comment\n0 1\n1 2\n2 0\n").unwrap();
+        let g = load_snap(&path, Direction::Undirected).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_snap_missing_file_errors() {
+        let err = load_snap(Path::new("/nonexistent/psr.txt"), Direction::Directed);
+        assert!(err.is_err());
+    }
+}

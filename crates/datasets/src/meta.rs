@@ -1,0 +1,81 @@
+//! Dataset metadata for reports and EXPERIMENTS.md provenance.
+
+use serde::{Deserialize, Serialize};
+
+use psr_graph::algo::DegreeStats;
+use psr_graph::Graph;
+
+/// Provenance and structural statistics of a dataset instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Preset or file name.
+    pub name: String,
+    /// Node count.
+    pub num_nodes: usize,
+    /// Logical edge count.
+    pub num_edges: usize,
+    /// Whether edges are directed.
+    pub directed: bool,
+    /// Degree summary.
+    pub degree_stats: DegreeStats,
+    /// Seed used (0 for loaded files).
+    pub seed: u64,
+    /// Scale factor relative to the paper's graph (1.0 = full).
+    pub scale: f64,
+}
+
+impl DatasetMeta {
+    /// Computes metadata for a graph instance.
+    pub fn describe(name: &str, graph: &Graph, seed: u64, scale: f64) -> Self {
+        DatasetMeta {
+            name: name.to_owned(),
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+            directed: graph.is_directed(),
+            degree_stats: DegreeStats::compute(graph),
+            seed,
+            scale,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} nodes, {} edges ({}), max degree {}, mean {:.2}, {:.0}% of nodes ≤ ln(n) degree",
+            self.name,
+            self.num_nodes,
+            self.num_edges,
+            if self.directed { "directed" } else { "undirected" },
+            self.degree_stats.max,
+            self.degree_stats.mean,
+            self.degree_stats.frac_at_most_log_n * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_graph::undirected_from_edges;
+
+    #[test]
+    fn describe_and_summary() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let meta = DatasetMeta::describe("toy", &g, 42, 1.0);
+        assert_eq!(meta.num_nodes, 4);
+        assert_eq!(meta.num_edges, 4);
+        assert!(!meta.directed);
+        let s = meta.summary();
+        assert!(s.contains("toy"));
+        assert!(s.contains("4 nodes"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = undirected_from_edges([(0, 1)]).unwrap();
+        let meta = DatasetMeta::describe("t", &g, 1, 0.5);
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: DatasetMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, meta);
+    }
+}

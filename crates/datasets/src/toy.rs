@@ -1,0 +1,85 @@
+//! Bundled toy graphs for examples, tests and documentation.
+
+use psr_graph::{undirected_from_edges, Graph};
+
+/// Zachary's karate club (34 nodes, 78 edges) — the classic small social
+/// network. Node 0 is the instructor, node 33 the club president.
+pub fn karate_club() -> Graph {
+    // 1-indexed in the original dataset; converted to 0-indexed here.
+    const EDGES: [(u32, u32); 78] = [
+        (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9), (1, 11), (1, 12),
+        (1, 13), (1, 14), (1, 18), (1, 20), (1, 22), (1, 32),
+        (2, 3), (2, 4), (2, 8), (2, 14), (2, 18), (2, 20), (2, 22), (2, 31),
+        (3, 4), (3, 8), (3, 9), (3, 10), (3, 14), (3, 28), (3, 29), (3, 33),
+        (4, 8), (4, 13), (4, 14),
+        (5, 7), (5, 11),
+        (6, 7), (6, 11), (6, 17),
+        (7, 17),
+        (9, 31), (9, 33), (9, 34),
+        (10, 34),
+        (14, 34),
+        (15, 33), (15, 34),
+        (16, 33), (16, 34),
+        (19, 33), (19, 34),
+        (20, 34),
+        (21, 33), (21, 34),
+        (23, 33), (23, 34),
+        (24, 26), (24, 28), (24, 30), (24, 33), (24, 34),
+        (25, 26), (25, 28), (25, 32),
+        (26, 32),
+        (27, 30), (27, 34),
+        (28, 34),
+        (29, 32), (29, 34),
+        (30, 33), (30, 34),
+        (31, 33), (31, 34),
+        (32, 33), (32, 34),
+        (33, 34),
+    ];
+    undirected_from_edges(EDGES.iter().map(|&(u, v)| (u - 1, v - 1)))
+        .expect("karate club edge list is valid")
+}
+
+/// A 10-node "two communities + bridge" graph: cliques {0..4} and {5..9}
+/// joined by the single edge (4, 5). Useful for demonstrating how a
+/// recommendation leaks the bridge edge.
+pub fn two_communities() -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push((u, v));
+        }
+    }
+    for u in 5..10u32 {
+        for v in (u + 1)..10 {
+            edges.push((u, v));
+        }
+    }
+    edges.push((4, 5));
+    undirected_from_edges(edges).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_graph::algo::connected_components;
+
+    #[test]
+    fn karate_club_canonical_counts() {
+        let g = karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert_eq!(connected_components(&g).count(), 1);
+        // Instructor (0) and president (33) are the two hubs.
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(g.degree(33), 17);
+    }
+
+    #[test]
+    fn two_communities_shape() {
+        let g = two_communities();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 21); // 2 × C(5,2) + bridge
+        assert!(g.has_edge(4, 5));
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+}

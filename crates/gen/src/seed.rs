@@ -1,0 +1,52 @@
+//! Deterministic seeding utilities.
+//!
+//! Every experiment in the reproduction takes a single `u64` seed; derived
+//! streams (graph generation, target sampling, mechanism noise) are split
+//! from it with [`split_seed`] so that adding a new consumer never perturbs
+//! existing streams.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a reproducible RNG from a `u64` seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent stream seed from `(seed, stream)` using the
+/// SplitMix64 finaliser — a bijective mixer, so distinct streams never
+/// collide for a fixed seed.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = (0..8).map(|_| rng_from_seed(42).gen::<u64>()).collect();
+        let b: Vec<u64> = (0..8).map(|_| rng_from_seed(42).gen::<u64>()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        assert_ne!(split_seed(7, 0), split_seed(7, 1));
+        assert_ne!(split_seed(7, 0), split_seed(8, 0));
+    }
+
+    #[test]
+    fn split_is_stable_across_releases() {
+        // Regression pin: experiments in EXPERIMENTS.md cite seeds; the
+        // derivation must never silently change.
+        assert_eq!(split_seed(0, 0), 0); // SplitMix64 finaliser fixes 0
+        assert_eq!(split_seed(42, 1), split_seed(42, 1));
+        assert_ne!(split_seed(42, 1), 0);
+    }
+}

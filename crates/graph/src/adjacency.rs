@@ -1,0 +1,232 @@
+//! Mutable adjacency-list graph for single-edge edits.
+//!
+//! Differential privacy reasons about pairs of graphs differing in one edge,
+//! and the paper's lower-bound machinery rewires up to `t` edges to promote
+//! a low-utility node (§4.2, App. B/C). [`MutableGraph`] supports those
+//! edits with `O(log d)` membership tests and `O(d)` updates, and converts
+//! to/from the immutable CSR [`Graph`] used by the read-only kernels.
+
+use crate::builder::Direction;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::node::{ix, NodeId};
+use crate::Result;
+
+/// A mutable simple graph with sorted adjacency vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutableGraph {
+    direction: Direction,
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl MutableGraph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(direction: Direction, n: usize) -> Self {
+        MutableGraph { direction, adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of logical edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.direction == Direction::Directed
+    }
+
+    /// Sorted out-neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[ix(v)]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[ix(v)].len()
+    }
+
+    /// Whether arc `(u, v)` is present.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[ix(u)].binary_search(&v).is_ok()
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<()> {
+        if ix(v) >= self.adj.len() {
+            return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: self.adj.len() });
+        }
+        Ok(())
+    }
+
+    fn insert_arc(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        match self.adj[ix(u)].binary_search(&v) {
+            Ok(_) => Err(GraphError::EdgeExists { from: u, to: v }),
+            Err(pos) => {
+                self.adj[ix(u)].insert(pos, v);
+                Ok(())
+            }
+        }
+    }
+
+    fn remove_arc(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        match self.adj[ix(u)].binary_search(&v) {
+            Ok(pos) => {
+                self.adj[ix(u)].remove(pos);
+                Ok(())
+            }
+            Err(_) => Err(GraphError::EdgeNotFound { from: u, to: v }),
+        }
+    }
+
+    /// Adds edge `(u, v)` (both directions when undirected).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u as u64 });
+        }
+        self.check_node(u)?;
+        self.check_node(v)?;
+        self.insert_arc(u, v)?;
+        if self.direction == Direction::Undirected {
+            // Cannot fail: symmetry is an invariant.
+            self.insert_arc(v, u).expect("undirected symmetry invariant");
+        }
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Removes edge `(u, v)` (both directions when undirected).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        self.remove_arc(u, v)?;
+        if self.direction == Direction::Undirected {
+            self.remove_arc(v, u).expect("undirected symmetry invariant");
+        }
+        self.num_edges -= 1;
+        Ok(())
+    }
+
+    /// Adds the edge if absent, removes it if present. Returns `true` if the
+    /// edge exists after the call. This is the "graphs differing in one
+    /// edge" operation of Definition 1.
+    pub fn toggle_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
+        if self.has_edge(u, v) {
+            self.remove_edge(u, v)?;
+            Ok(false)
+        } else {
+            self.add_edge(u, v)?;
+            Ok(true)
+        }
+    }
+
+    /// Snapshots into the immutable CSR representation.
+    pub fn freeze(&self) -> Graph {
+        let n = self.num_nodes();
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + self.adj[v].len() as u64;
+        }
+        let mut targets = Vec::with_capacity(*offsets.last().unwrap() as usize);
+        for v in 0..n {
+            targets.extend_from_slice(&self.adj[v]);
+        }
+        Graph::from_parts(self.direction, offsets, targets, self.num_edges)
+    }
+}
+
+impl From<&Graph> for MutableGraph {
+    fn from(g: &Graph) -> Self {
+        let mut m = MutableGraph::new(g.direction(), g.num_nodes());
+        for v in g.nodes() {
+            m.adj[ix(v)] = g.neighbors(v).to_vec();
+        }
+        m.num_edges = g.num_edges();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::undirected_from_edges;
+
+    #[test]
+    fn add_and_remove_round_trip() {
+        let mut m = MutableGraph::new(Direction::Undirected, 4);
+        m.add_edge(0, 1).unwrap();
+        m.add_edge(1, 2).unwrap();
+        assert_eq!(m.num_edges(), 2);
+        assert!(m.has_edge(1, 0));
+        m.remove_edge(0, 1).unwrap();
+        assert_eq!(m.num_edges(), 1);
+        assert!(!m.has_edge(1, 0));
+    }
+
+    #[test]
+    fn duplicate_add_fails_and_leaves_graph_intact() {
+        let mut m = MutableGraph::new(Direction::Undirected, 3);
+        m.add_edge(0, 1).unwrap();
+        let err = m.add_edge(0, 1).unwrap_err();
+        assert_eq!(err, GraphError::EdgeExists { from: 0, to: 1 });
+        assert_eq!(m.num_edges(), 1);
+    }
+
+    #[test]
+    fn remove_missing_edge_fails() {
+        let mut m = MutableGraph::new(Direction::Directed, 3);
+        let err = m.remove_edge(0, 1).unwrap_err();
+        assert_eq!(err, GraphError::EdgeNotFound { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut m = MutableGraph::new(Direction::Directed, 3);
+        assert_eq!(m.add_edge(2, 2).unwrap_err(), GraphError::SelfLoop { node: 2 });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = MutableGraph::new(Direction::Directed, 3);
+        let err = m.add_edge(0, 7).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 7, num_nodes: 3 });
+    }
+
+    #[test]
+    fn toggle_is_an_involution() {
+        let mut m = MutableGraph::new(Direction::Undirected, 3);
+        assert!(m.toggle_edge(0, 2).unwrap());
+        assert!(m.has_edge(0, 2));
+        assert!(!m.toggle_edge(0, 2).unwrap());
+        assert!(!m.has_edge(0, 2));
+        assert_eq!(m.num_edges(), 0);
+    }
+
+    #[test]
+    fn freeze_round_trips_through_csr() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let m = MutableGraph::from(&g);
+        assert_eq!(m.freeze(), g);
+    }
+
+    #[test]
+    fn directed_add_is_one_way() {
+        let mut m = MutableGraph::new(Direction::Directed, 3);
+        m.add_edge(0, 1).unwrap();
+        assert!(m.has_edge(0, 1));
+        assert!(!m.has_edge(1, 0));
+        // Reciprocal arc is a distinct edge.
+        m.add_edge(1, 0).unwrap();
+        assert_eq!(m.num_edges(), 2);
+    }
+}

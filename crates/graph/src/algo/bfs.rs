@@ -1,0 +1,84 @@
+//! Breadth-first search primitives.
+
+use std::collections::VecDeque;
+
+use crate::csr::Graph;
+use crate::node::{ix, NodeId};
+
+/// Distance marker for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `source` to every node, following out-edges.
+/// Unreachable nodes get [`UNREACHABLE`].
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; graph.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[ix(source)] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[ix(v)];
+        for &w in graph.neighbors(v) {
+            if dist[ix(w)] == UNREACHABLE {
+                dist[ix(w)] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within exactly `1..=k` hops of `source` (excludes `source`),
+/// sorted ascending. This is the candidate pool with non-zero utility for
+/// hop-local utility functions: for common neighbours only the 2-hop
+/// neighbourhood can score (§4.2).
+pub fn k_hop_neighborhood(graph: &Graph, source: NodeId, k: u32) -> Vec<NodeId> {
+    let dist = bfs_distances(graph, source);
+    let mut out: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE && d >= 1 && d <= k)
+        .map(|(v, _)| v as NodeId)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{directed_from_edges, undirected_from_edges};
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_nodes_marked() {
+        let g = crate::GraphBuilder::new(crate::Direction::Undirected)
+            .add_edges([(0, 1)])
+            .with_num_nodes(3)
+            .build()
+            .unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn directed_bfs_follows_arcs() {
+        let g = directed_from_edges([(0, 1), (1, 2)]).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2]);
+        assert_eq!(bfs_distances(&g, 2), vec![UNREACHABLE, UNREACHABLE, 0]);
+    }
+
+    #[test]
+    fn two_hop_neighborhood() {
+        // Star around 0 with an extra rim edge 1-2 and a distant path 2-5-6.
+        let g = undirected_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 5), (5, 6)]).unwrap();
+        assert_eq!(k_hop_neighborhood(&g, 0, 1), vec![1, 2, 3]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 2), vec![1, 2, 3, 5]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 3), vec![1, 2, 3, 5, 6]);
+    }
+}

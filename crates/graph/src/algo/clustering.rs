@@ -1,0 +1,146 @@
+//! Triangle counting and clustering coefficients.
+//!
+//! The reproduction's synthetic graphs match the paper's graphs in degree
+//! structure but not in clustering (preferential attachment has a
+//! vanishing clustering coefficient; the Wikipedia vote graph's is ≈ 0.14).
+//! Since per-target `u_max` under common neighbours is driven by
+//! clustering, these functions quantify exactly the deviation documented
+//! in EXPERIMENTS.md E1.
+
+use crate::csr::Graph;
+use crate::node::NodeId;
+
+/// Number of triangles through node `v` (undirected view): pairs of
+/// neighbours that are themselves adjacent.
+pub fn triangles_at(graph: &Graph, v: NodeId) -> u64 {
+    let ns = graph.neighbors(v);
+    let mut count = 0u64;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if graph.has_edge(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Total triangle count of an undirected graph (each triangle counted
+/// once).
+///
+/// # Panics
+/// Panics on directed graphs — orient the semantics explicitly first.
+pub fn triangle_count(graph: &Graph) -> u64 {
+    assert!(!graph.is_directed(), "triangle_count expects an undirected graph");
+    graph.nodes().map(|v| triangles_at(graph, v)).sum::<u64>() / 3
+}
+
+/// Local clustering coefficient of `v`: closed wedges / possible wedges.
+/// Zero for degree < 2.
+pub fn local_clustering(graph: &Graph, v: NodeId) -> f64 {
+    let d = graph.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let possible = (d * (d - 1) / 2) as f64;
+    triangles_at(graph, v) as f64 / possible
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition) over
+/// nodes of degree ≥ 2.
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for v in graph.nodes() {
+        if graph.degree(v) >= 2 {
+            total += local_clustering(graph, v);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Global clustering coefficient (transitivity): `3·#triangles / #wedges`.
+pub fn global_clustering(graph: &Graph) -> f64 {
+    assert!(!graph.is_directed(), "global_clustering expects an undirected graph");
+    let wedges: u64 = graph
+        .nodes()
+        .map(|v| {
+            let d = graph.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(graph) as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::undirected_from_edges;
+
+    #[test]
+    fn triangle_graph() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangles_at(&g, 0), 1);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        assert_eq!(global_clustering(&g), 1.0);
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn square_with_one_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: triangles {0,1,2} and {0,2,3}.
+        let g = undirected_from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        assert_eq!(triangle_count(&g), 2);
+        assert_eq!(triangles_at(&g, 0), 2);
+        assert_eq!(triangles_at(&g, 1), 1);
+        // Node 1 has degree 2 and its neighbours are adjacent: C = 1.
+        assert_eq!(local_clustering(&g, 1), 1.0);
+        // Node 0 has degree 3, 2 closed of 3 wedges.
+        assert!((local_clustering(&g, 0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_one_nodes_are_skipped_in_average() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        // Node 3 (degree 1) excluded; nodes 0,1 have C=1; node 2 has C=1/3.
+        let expected = (1.0 + 1.0 + 1.0 / 3.0) / 3.0;
+        assert!((average_clustering(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = undirected_from_edges(edges).unwrap();
+        assert_eq!(triangle_count(&g), 20); // C(6,3)
+        assert_eq!(global_clustering(&g), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn directed_rejected() {
+        let g = crate::builder::directed_from_edges([(0, 1), (1, 2), (2, 0)]).unwrap();
+        let _ = triangle_count(&g);
+    }
+}

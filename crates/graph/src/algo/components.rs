@@ -1,0 +1,144 @@
+//! Connected components via union–find.
+//!
+//! Used by the dataset layer to report the structural statistics that the
+//! paper's graphs exhibit (one giant component), and by generators' tests.
+
+use crate::csr::Graph;
+use crate::node::NodeId;
+
+/// Component labelling of a graph.
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// `labels[v]` is the 0-based component id of `v`.
+    pub labels: Vec<u32>,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl ComponentLabels {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            // Path halving.
+            self.parent[v as usize] = self.parent[self.parent[v as usize] as usize];
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Connected components (weakly connected for directed graphs: arcs are
+/// treated as symmetric, matching how the paper reports graph sizes).
+pub fn connected_components(graph: &Graph) -> ComponentLabels {
+    let n = graph.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in graph.arcs() {
+        uf.union(u, v);
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        if labels[root as usize] == u32::MAX {
+            labels[root as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        labels[v as usize] = labels[root as usize];
+        sizes[labels[v as usize] as usize] += 1;
+    }
+    ComponentLabels { labels, sizes }
+}
+
+/// Nodes of the largest component (sorted). Ties broken by lowest label.
+pub fn largest_component(graph: &Graph) -> Vec<NodeId> {
+    let comp = connected_components(graph);
+    if comp.sizes.is_empty() {
+        return Vec::new();
+    }
+    let best = comp
+        .sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    (0..graph.num_nodes() as u32).filter(|&v| comp.labels[v as usize] == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{directed_from_edges, GraphBuilder};
+    use crate::Direction;
+
+    #[test]
+    fn two_components_and_an_isolate() {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2), (3, 4)])
+            .with_num_nodes(6)
+            .build()
+            .unwrap();
+        let comp = connected_components(&g);
+        assert_eq!(comp.count(), 3);
+        let mut sizes = comp.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert_eq!(comp.labels[0], comp.labels[2]);
+        assert_ne!(comp.labels[0], comp.labels[3]);
+    }
+
+    #[test]
+    fn largest_component_nodes() {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2), (3, 4)])
+            .with_num_nodes(6)
+            .build()
+            .unwrap();
+        assert_eq!(largest_component(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_uses_weak_connectivity() {
+        let g = directed_from_edges([(0, 1), (2, 1)]).unwrap();
+        let comp = connected_components(&g);
+        assert_eq!(comp.count(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(Direction::Undirected).build().unwrap();
+        let comp = connected_components(&g);
+        assert_eq!(comp.count(), 0);
+        assert!(largest_component(&g).is_empty());
+    }
+}

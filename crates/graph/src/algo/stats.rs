@@ -1,0 +1,132 @@
+//! Degree statistics.
+//!
+//! The paper's lower bounds are parameterised by degree (`d_r = α log n`,
+//! Theorems 2–3) and its experiments bin accuracy by target degree
+//! (Fig. 2(c)); the dataset layer also uses these statistics to verify that
+//! synthetic stand-ins match the real graphs' degree structure.
+
+use crate::csr::Graph;
+
+/// Summary statistics of the out-degree sequence.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+    /// 90th percentile degree.
+    pub p90: usize,
+    /// 99th percentile degree.
+    pub p99: usize,
+    /// Fraction of nodes with degree ≤ `ln n` — the population for which
+    /// Theorem 2 forbids simultaneously accurate and private
+    /// common-neighbour recommendations.
+    pub frac_at_most_log_n: f64,
+}
+
+impl DegreeStats {
+    /// Computes the statistics for a graph (out-degrees).
+    pub fn compute(graph: &Graph) -> DegreeStats {
+        let mut degrees = graph.degrees();
+        let n = degrees.len();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0.0,
+                p90: 0,
+                p99: 0,
+                frac_at_most_log_n: 0.0,
+            };
+        }
+        degrees.sort_unstable();
+        let total: usize = degrees.iter().sum();
+        let pct = |q: f64| -> usize {
+            let idx = ((n as f64 - 1.0) * q).round() as usize;
+            degrees[idx.min(n - 1)]
+        };
+        let median = if n % 2 == 1 {
+            degrees[n / 2] as f64
+        } else {
+            (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+        };
+        let log_n = (n as f64).ln();
+        let at_most = degrees.iter().filter(|&&d| (d as f64) <= log_n).count();
+        DegreeStats {
+            min: degrees[0],
+            max: degrees[n - 1],
+            mean: total as f64 / n as f64,
+            median,
+            p90: pct(0.90),
+            p99: pct(0.99),
+            frac_at_most_log_n: at_most as f64 / n as f64,
+        }
+    }
+}
+
+/// Histogram of out-degrees: `histogram[d]` is the number of nodes with
+/// degree exactly `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{undirected_from_edges, GraphBuilder};
+    use crate::Direction;
+
+    #[test]
+    fn star_graph_stats() {
+        // Star: centre 0 with 4 leaves.
+        let g = undirected_from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 1.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = undirected_from_edges([(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.num_nodes());
+        assert_eq!(h[3], 1); // node 0
+        assert_eq!(h[2], 2); // nodes 1, 2
+        assert_eq!(h[1], 1); // node 3
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = GraphBuilder::new(Direction::Undirected).build().unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn frac_at_most_log_n() {
+        // 5 nodes, ln 5 ≈ 1.609: leaves (degree 1) qualify, centre doesn't.
+        let g = undirected_from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert!((s.frac_at_most_log_n - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_count_median_averages() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        // Degrees: 1, 2, 2, 1 → sorted 1,1,2,2 → median 1.5.
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.median, 1.5);
+    }
+}

@@ -1,0 +1,212 @@
+//! Validating, deduplicating graph construction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Whether edges are directed arcs or symmetric links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Arcs `(u, v)` are one-way; the paper follows out-edges of the target
+    /// on its directed Twitter graph (§7.1).
+    Directed,
+    /// Edges are symmetric; the paper symmetrises the Wikipedia vote graph.
+    Undirected,
+}
+
+/// Incremental builder producing a validated [`Graph`].
+///
+/// The builder:
+/// * rejects self-loops (the paper's model uses simple graphs),
+/// * deduplicates repeated edges (SNAP dumps contain duplicates once
+///   symmetrised),
+/// * symmetrises undirected input,
+/// * sorts every adjacency list so the resulting [`Graph`] supports binary
+///   search membership tests.
+///
+/// Node count is `max endpoint + 1` unless raised via
+/// [`GraphBuilder::with_num_nodes`] (isolated trailing nodes are legal: in
+/// the paper's graphs some users never vote and are never voted on).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    direction: Direction,
+    edges: Vec<(NodeId, NodeId)>,
+    num_nodes: usize,
+    first_error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new(direction: Direction) -> Self {
+        GraphBuilder { direction, edges: Vec::new(), num_nodes: 0, first_error: None }
+    }
+
+    /// Creates an empty builder with a pre-reserved edge capacity.
+    pub fn with_capacity(direction: Direction, edges: usize) -> Self {
+        GraphBuilder {
+            direction,
+            edges: Vec::with_capacity(if direction == Direction::Undirected {
+                edges.saturating_mul(2)
+            } else {
+                edges
+            }),
+            num_nodes: 0,
+            first_error: None,
+        }
+    }
+
+    /// Ensures the graph has at least `n` nodes even if some are isolated.
+    #[must_use]
+    pub fn with_num_nodes(mut self, n: usize) -> Self {
+        self.num_nodes = self.num_nodes.max(n);
+        self
+    }
+
+    /// Adds a single edge. Self-loops are recorded as an error surfaced at
+    /// [`GraphBuilder::build`] time so bulk loading code can stay branch-free.
+    pub fn push_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            if self.first_error.is_none() {
+                self.first_error = Some(GraphError::SelfLoop { node: u as u64 });
+            }
+            return;
+        }
+        self.num_nodes = self.num_nodes.max(u.max(v) as usize + 1);
+        self.edges.push((u, v));
+        if self.direction == Direction::Undirected {
+            self.edges.push((v, u));
+        }
+    }
+
+    /// Adds many edges (builder-style).
+    #[must_use]
+    pub fn add_edges<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (u, v) in edges {
+            self.push_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of (directed, pre-dedup) arcs accumulated so far.
+    pub fn pending_arcs(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the CSR graph.
+    pub fn build(self) -> Result<Graph> {
+        let GraphBuilder { direction, mut edges, num_nodes, first_error } = self;
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut offsets = vec![0u64; num_nodes + 1];
+        for &(u, _) in &edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+        let stored = targets.len();
+        let num_edges = match direction {
+            Direction::Directed => stored,
+            // Both directions were materialised and deduplicated; every
+            // logical edge contributes exactly 2 arcs.
+            Direction::Undirected => stored / 2,
+        };
+        Ok(Graph::from_parts(direction, offsets, targets, num_edges))
+    }
+}
+
+/// Convenience: builds an undirected graph from an edge iterator.
+pub fn undirected_from_edges<I>(edges: I) -> Result<Graph>
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    GraphBuilder::new(Direction::Undirected).add_edges(edges).build()
+}
+
+/// Convenience: builds a directed graph from an arc iterator.
+pub fn directed_from_edges<I>(edges: I) -> Result<Graph>
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    GraphBuilder::new(Direction::Directed).add_edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let g = undirected_from_edges([(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn self_loop_is_an_error() {
+        let err = undirected_from_edges([(0, 1), (2, 2)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 2 });
+    }
+
+    #[test]
+    fn isolated_nodes_via_with_num_nodes() {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1)])
+            .with_num_nodes(5)
+            .build()
+            .unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(Direction::Directed).build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn undirected_edge_count_halves_arcs() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let g = undirected_from_edges([(5, 0), (5, 3), (5, 1), (5, 4), (5, 2)]).unwrap();
+        assert_eq!(g.neighbors(5), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn directed_duplicates_and_reciprocals() {
+        let g = directed_from_edges([(0, 1), (0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 2); // (0,1) deduped, (1,0) distinct
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let a = GraphBuilder::with_capacity(Direction::Undirected, 3)
+            .add_edges([(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let b = undirected_from_edges([(0, 1), (1, 2)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

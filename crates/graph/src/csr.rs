@@ -1,0 +1,256 @@
+//! Immutable compressed-sparse-row graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::Direction;
+use crate::node::{ix, NodeId};
+
+/// An immutable graph in compressed-sparse-row form.
+///
+/// For undirected graphs every edge is stored in both directions, so
+/// [`Graph::neighbors`] is symmetric; [`Graph::num_edges`] still reports the
+/// logical (undirected) edge count. Neighbour lists are sorted, which makes
+/// [`Graph::has_edge`] a binary search and lets set-intersection style
+/// algorithms run without hashing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    direction: Direction,
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with v's out-neighbours.
+    offsets: Vec<u64>,
+    /// Concatenated sorted neighbour lists.
+    targets: Vec<NodeId>,
+    /// Logical edge count (each undirected edge counted once).
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR parts. Used by [`crate::GraphBuilder`]
+    /// and [`crate::MutableGraph`]; not public because the invariants
+    /// (sorted, deduplicated, symmetric-if-undirected) are not re-checked.
+    pub(crate) fn from_parts(
+        direction: Direction,
+        offsets: Vec<u64>,
+        targets: Vec<NodeId>,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        Graph { direction, offsets, targets, num_edges }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical edges (each undirected edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of stored directed arcs (for undirected graphs this is
+    /// `2 * num_edges()` minus nothing — both directions are materialised).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.direction == Direction::Directed
+    }
+
+    /// Direction marker.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Sorted out-neighbour slice of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[ix(v)] as usize;
+        let hi = self.offsets[ix(v) + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[ix(v) + 1] - self.offsets[ix(v)]) as usize
+    }
+
+    /// Whether the arc `(u, v)` is present (for undirected graphs this is
+    /// symmetric).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over stored arcs `(u, v)`. For undirected graphs each edge
+    /// appears twice (once per direction); use [`Graph::edges`] for the
+    /// deduplicated view.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterator over logical edges: every arc for directed graphs, and each
+    /// undirected edge once as `(min, max)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let directed = self.is_directed();
+        self.arcs().filter(move |&(u, v)| directed || u < v)
+    }
+
+    /// Maximum out-degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// The transposed graph (in-edges become out-edges). For undirected
+    /// graphs this is a clone.
+    pub fn reversed(&self) -> Graph {
+        if !self.is_directed() {
+            return self.clone();
+        }
+        let n = self.num_nodes();
+        let mut counts = vec![0u64; n + 1];
+        for &t in &self.targets {
+            counts[ix(t) + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as NodeId; self.targets.len()];
+        for (u, v) in self.arcs() {
+            let slot = cursor[ix(v)];
+            targets[slot as usize] = u;
+            cursor[ix(v)] += 1;
+        }
+        // Each in-neighbour list was filled in increasing source order
+        // (arcs() walks sources ascending), so lists are already sorted.
+        Graph::from_parts(Direction::Directed, offsets, targets, self.num_edges)
+    }
+
+    /// Out-degree sequence, indexable by node.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).collect()
+    }
+
+    /// In-degree sequence (equals [`Graph::degrees`] for undirected graphs).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        if !self.is_directed() {
+            return self.degrees();
+        }
+        let mut d = vec![0usize; self.num_nodes()];
+        for &t in &self.targets {
+            d[ix(t)] += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Direction, GraphBuilder};
+
+    fn path_graph() -> crate::Graph {
+        // 0 - 1 - 2 - 3
+        GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_directed());
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_for_undirected() {
+        let g = path_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edges_deduplicates_undirected() {
+        let g = path_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.arcs().count(), 6);
+    }
+
+    #[test]
+    fn directed_graph_keeps_arc_orientation() {
+        let g = GraphBuilder::new(Direction::Directed)
+            .add_edges([(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 3);
+    }
+
+    #[test]
+    fn reversed_transposes_arcs() {
+        let g = GraphBuilder::new(Direction::Directed)
+            .add_edges([(0, 1), (0, 2), (1, 2)])
+            .build()
+            .unwrap();
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(2, 0));
+        assert!(r.has_edge(2, 1));
+        assert!(!r.has_edge(0, 1));
+        assert_eq!(r.num_edges(), 3);
+        // Double reversal is the identity.
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn reversed_of_undirected_is_identity() {
+        let g = path_graph();
+        assert_eq!(g.reversed(), g);
+    }
+
+    #[test]
+    fn in_degrees_directed() {
+        let g = GraphBuilder::new(Direction::Directed)
+            .add_edges([(0, 2), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        assert_eq!(g.in_degrees(), vec![1, 0, 2]);
+        assert_eq!(g.degrees(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = path_graph();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: crate::Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

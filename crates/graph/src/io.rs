@@ -1,0 +1,310 @@
+//! Graph I/O: SNAP-style edge-list text and a compact binary snapshot.
+//!
+//! The paper's experiments load the SNAP `wiki-Vote.txt` dump (comment lines
+//! starting with `#`, whitespace-separated integer pairs, arbitrary sparse
+//! node ids). [`read_edge_list`] accepts that format and compacts node ids;
+//! the returned [`IdMap`] preserves the original labels. The [`binary`]
+//! module provides a fast snapshot format (built on [`bytes`]) so generated
+//! benchmark graphs can be cached between runs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::builder::{Direction, GraphBuilder};
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Mapping from compact [`NodeId`]s back to the labels used in the source
+/// file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMap {
+    originals: Vec<u64>,
+}
+
+impl IdMap {
+    /// Original label of compact id `v`.
+    pub fn original(&self, v: NodeId) -> u64 {
+        self.originals[v as usize]
+    }
+
+    /// Number of mapped nodes.
+    pub fn len(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.originals.is_empty()
+    }
+}
+
+/// Parses a SNAP-style edge list from a reader.
+///
+/// Node labels are compacted to `0..n` in order of first appearance;
+/// duplicate edges are removed by the builder; self-loops in the source are
+/// *skipped* (SNAP dumps contain them, the paper's model does not).
+pub fn read_edge_list<R: Read>(reader: R, direction: Direction) -> Result<(Graph, IdMap)> {
+    let mut builder = GraphBuilder::new(direction);
+    let mut originals: Vec<u64> = Vec::new();
+    let mut lookup: std::collections::HashMap<u64, NodeId> = std::collections::HashMap::new();
+    let mut intern = |label: u64, originals: &mut Vec<u64>| -> NodeId {
+        *lookup.entry(label).or_insert_with(|| {
+            let id = originals.len() as NodeId;
+            originals.push(label);
+            id
+        })
+    };
+
+    let buf = BufReader::new(reader);
+    let mut line_no = 0usize;
+    let mut line = String::new();
+    let mut buf = buf;
+    loop {
+        line.clear();
+        let read = buf.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, line_no: usize| -> Result<u64> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "expected two whitespace-separated node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid node id {tok:?}"),
+            })
+        };
+        let a = parse(parts.next(), line_no)?;
+        let b = parse(parts.next(), line_no)?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "trailing tokens after edge".into(),
+            });
+        }
+        if a == b {
+            continue; // skip self-loops from raw dumps
+        }
+        let u = intern(a, &mut originals);
+        let v = intern(b, &mut originals);
+        builder.push_edge(u, v);
+    }
+    let graph = builder.build()?;
+    Ok((graph, IdMap { originals }))
+}
+
+/// Parses a SNAP-style edge list from a string.
+pub fn parse_edge_list(text: &str, direction: Direction) -> Result<(Graph, IdMap)> {
+    read_edge_list(text.as_bytes(), direction)
+}
+
+/// Writes the logical edges as a SNAP-style edge list (with a header
+/// comment), one `u\tv` pair per line, using compact ids.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> Result<()> {
+    writeln!(
+        writer,
+        "# psr-graph edge list: {} nodes, {} edges, {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        if graph.is_directed() { "directed" } else { "undirected" }
+    )?;
+    let mut out = std::io::BufWriter::new(&mut writer);
+    for (u, v) in graph.edges() {
+        writeln!(out, "{u}\t{v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Compact binary snapshot format.
+///
+/// Layout (little endian): magic `PSRG`, version u16, direction u8,
+/// node count u64, edge count u64, arc count u64, then the CSR arrays.
+pub mod binary {
+    use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+    use super::*;
+
+    const MAGIC: &[u8; 4] = b"PSRG";
+    const VERSION: u16 = 1;
+
+    /// Encodes a graph into the binary snapshot format.
+    pub fn encode(graph: &Graph) -> Bytes {
+        let n = graph.num_nodes();
+        let mut buf =
+            BytesMut::with_capacity(4 + 2 + 1 + 24 + (n + 1) * 8 + graph.num_arcs() * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(if graph.is_directed() { 1 } else { 0 });
+        buf.put_u64_le(n as u64);
+        buf.put_u64_le(graph.num_edges() as u64);
+        buf.put_u64_le(graph.num_arcs() as u64);
+        let mut offset = 0u64;
+        buf.put_u64_le(offset);
+        for v in graph.nodes() {
+            offset += graph.degree(v) as u64;
+            buf.put_u64_le(offset);
+        }
+        for v in graph.nodes() {
+            for &t in graph.neighbors(v) {
+                buf.put_u32_le(t);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a binary snapshot produced by [`encode`].
+    pub fn decode(mut data: Bytes) -> Result<Graph> {
+        let need = |data: &Bytes, n: usize, what: &str| -> Result<()> {
+            if data.remaining() < n {
+                return Err(GraphError::Decode(format!("truncated while reading {what}")));
+            }
+            Ok(())
+        };
+        need(&data, 4, "magic")?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(GraphError::Decode("bad magic".into()));
+        }
+        need(&data, 2, "version")?;
+        let version = data.get_u16_le();
+        if version != VERSION {
+            return Err(GraphError::Decode(format!("unsupported version {version}")));
+        }
+        need(&data, 1, "direction")?;
+        let direction =
+            if data.get_u8() == 1 { Direction::Directed } else { Direction::Undirected };
+        need(&data, 24, "counts")?;
+        let n = data.get_u64_le() as usize;
+        let num_edges = data.get_u64_le() as usize;
+        let num_arcs = data.get_u64_le() as usize;
+        need(&data, (n + 1) * 8, "offsets")?;
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            offsets.push(data.get_u64_le());
+        }
+        if *offsets.last().unwrap_or(&0) as usize != num_arcs {
+            return Err(GraphError::Decode("offset/arc-count mismatch".into()));
+        }
+        need(&data, num_arcs * 4, "targets")?;
+        let mut targets = Vec::with_capacity(num_arcs);
+        for _ in 0..num_arcs {
+            let t = data.get_u32_le();
+            if t as usize >= n {
+                return Err(GraphError::Decode(format!("target {t} out of range")));
+            }
+            targets.push(t);
+        }
+        Ok(Graph::from_parts(direction, offsets, targets, num_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::undirected_from_edges;
+
+    const SNAP_SAMPLE: &str = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# Wiki-vote sample
+# FromNodeId\tToNodeId
+30\t1412
+30\t3352
+30\t5254
+3352\t30
+5254\t5254
+";
+
+    #[test]
+    fn parses_snap_format_with_comments_and_self_loops() {
+        let (g, ids) = parse_edge_list(SNAP_SAMPLE, Direction::Directed).unwrap();
+        // 4 distinct labels: 30, 1412, 3352, 5254 (self-loop row adds no edge
+        // but 5254 already appeared).
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(ids.original(0), 30);
+        assert_eq!(ids.original(1), 1412);
+        assert_eq!(ids.len(), 4);
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn undirected_parse_symmetrises_and_dedups() {
+        let (g, _) = parse_edge_list("1 2\n2 1\n", Direction::Undirected).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_edge_list("1 2\nxyz 3\n", Direction::Directed).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("xyz"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_endpoint_is_an_error() {
+        let err = parse_edge_list("1\n", Direction::Directed).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn trailing_tokens_are_an_error() {
+        let err = parse_edge_list("1 2 3\n", Direction::Directed).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let (back, _) = parse_edge_list(&text, Direction::Undirected).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let bytes = binary::encode(&g);
+        let back = binary::decode(bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = undirected_from_edges([(0, 1)]).unwrap();
+        let bytes = binary::encode(&g);
+        // Truncated buffer.
+        let truncated = bytes.slice(0..bytes.len() - 2);
+        assert!(binary::decode(truncated).is_err());
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(binary::decode(bytes::Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_target() {
+        let g = undirected_from_edges([(0, 1)]).unwrap();
+        let mut raw = binary::encode(&g).to_vec();
+        // Last 4 bytes are the final target u32; point it out of range.
+        let len = raw.len();
+        raw[len - 4..].copy_from_slice(&99u32.to_le_bytes());
+        assert!(binary::decode(bytes::Bytes::from(raw)).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Graph substrate for the `private-social-recs` workspace.
+//!
+//! This crate provides everything the reproduction of
+//! *"Personalized Social Recommendations — Accurate or Private?"*
+//! (Machanavajjhala, Korolova, Das Sarma; VLDB 2011) needs from a graph
+//! library, built from scratch:
+//!
+//! * [`Graph`] — an immutable, compressed-sparse-row (CSR) graph optimised
+//!   for the read-heavy link-analysis workloads of the paper (common
+//!   neighbours, truncated walk counting, BFS).
+//! * [`GraphBuilder`] — deduplicating, validating construction, with
+//!   optional symmetrisation for undirected graphs.
+//! * [`MutableGraph`] — a sorted adjacency-list graph supporting the
+//!   single-edge additions/removals that differential-privacy
+//!   neighbourhood arguments (and the paper's `t` edit-distance
+//!   experiments) require.
+//! * [`io`] — SNAP-style edge-list text I/O plus a compact binary snapshot
+//!   format.
+//! * [`algo`] — BFS, connected components, degree statistics, truncated
+//!   walk counting and common-neighbour counting.
+//!
+//! # Example
+//!
+//! ```
+//! use psr_graph::{GraphBuilder, Direction};
+//!
+//! // The triangle 0-1-2 plus a pendant node 3.
+//! let g = GraphBuilder::new(Direction::Undirected)
+//!     .add_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.neighbors(2), &[0, 1, 3]);
+//! assert!(g.has_edge(0, 1));
+//! ```
+
+pub mod algo;
+mod adjacency;
+mod builder;
+mod csr;
+mod error;
+pub mod io;
+mod node;
+
+pub use adjacency::MutableGraph;
+pub use builder::{directed_from_edges, undirected_from_edges, Direction, GraphBuilder};
+pub use csr::Graph;
+pub use error::GraphError;
+pub use node::NodeId;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,125 @@
+//! Differential-privacy auditing.
+//!
+//! Definition 1 requires `Pr[R(G) ∈ S] ≤ e^ε · Pr[R(G') ∈ S]` for every
+//! outcome set `S` over single-edge-neighbouring graphs. For mechanisms
+//! with exact output distributions (Exponential, smoothing) the worst set
+//! is a single outcome, so the audit reduces to the maximum per-outcome
+//! likelihood ratio. The integration tests run this auditor over real
+//! neighbouring graph pairs to validate Theorem 4 end to end.
+
+/// Result of a DP ratio audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditResult {
+    /// Largest observed `ln(p(o)/q(o))` over outcomes `o` (both
+    /// directions).
+    pub max_log_ratio: f64,
+    /// The epsilon the audit was checked against.
+    pub epsilon: f64,
+    /// Whether `max_log_ratio ≤ epsilon + tolerance`.
+    pub holds: bool,
+}
+
+/// Audits two exact outcome distributions (aligned element-wise; the last
+/// aggregate class may be appended by the caller). Outcomes where both
+/// probabilities are zero are ignored; an outcome possible under one input
+/// but not the other breaks DP outright.
+pub fn audit_exact(p: &[f64], q: &[f64], epsilon: f64, tolerance: f64) -> AuditResult {
+    assert_eq!(p.len(), q.len(), "distributions must align");
+    let mut max_log_ratio = f64::NEG_INFINITY;
+    for (&a, &b) in p.iter().zip(q) {
+        debug_assert!(a >= 0.0 && b >= 0.0);
+        if a == 0.0 && b == 0.0 {
+            continue;
+        }
+        if a == 0.0 || b == 0.0 {
+            return AuditResult { max_log_ratio: f64::INFINITY, epsilon, holds: false };
+        }
+        max_log_ratio = max_log_ratio.max((a / b).ln().abs());
+    }
+    if max_log_ratio == f64::NEG_INFINITY {
+        max_log_ratio = 0.0; // both distributions empty
+    }
+    AuditResult { max_log_ratio, epsilon, holds: max_log_ratio <= epsilon + tolerance }
+}
+
+/// Audits empirical outcome *counts* (e.g. Monte-Carlo frequencies of the
+/// Laplace mechanism) with additive smoothing, reporting the ratio with a
+/// sampling-noise allowance of `slack`. This cannot *prove* DP, only catch
+/// gross violations; exact mechanisms should use [`audit_exact`].
+pub fn audit_empirical(
+    counts_p: &[u64],
+    counts_q: &[u64],
+    epsilon: f64,
+    slack: f64,
+) -> AuditResult {
+    assert_eq!(counts_p.len(), counts_q.len());
+    let np: u64 = counts_p.iter().sum();
+    let nq: u64 = counts_q.iter().sum();
+    assert!(np > 0 && nq > 0, "need samples on both sides");
+    let mut max_log_ratio: f64 = 0.0;
+    for (&a, &b) in counts_p.iter().zip(counts_q) {
+        // Add-one smoothing keeps rare outcomes from producing infinities.
+        let pa = (a as f64 + 1.0) / (np as f64 + counts_p.len() as f64);
+        let pb = (b as f64 + 1.0) / (nq as f64 + counts_q.len() as f64);
+        max_log_ratio = max_log_ratio.max((pa / pb).ln().abs());
+    }
+    AuditResult { max_log_ratio, epsilon, holds: max_log_ratio <= epsilon + slack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_trivially_hold() {
+        let p = [0.5, 0.3, 0.2];
+        let r = audit_exact(&p, &p, 0.0, 1e-12);
+        assert!(r.holds);
+        assert_eq!(r.max_log_ratio, 0.0);
+    }
+
+    #[test]
+    fn bounded_ratio_holds() {
+        let p = [0.6, 0.4];
+        let q = [0.4, 0.6];
+        let r = audit_exact(&p, &q, (0.6f64 / 0.4).ln() + 1e-9, 0.0);
+        assert!(r.holds);
+        let tight = audit_exact(&p, &q, 0.2, 0.0);
+        assert!(!tight.holds);
+    }
+
+    #[test]
+    fn support_mismatch_breaks_dp() {
+        let p = [1.0, 0.0];
+        let q = [0.5, 0.5];
+        let r = audit_exact(&p, &q, 10.0, 0.0);
+        assert!(!r.holds);
+        assert_eq!(r.max_log_ratio, f64::INFINITY);
+    }
+
+    #[test]
+    fn ratio_is_symmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        let a = audit_exact(&p, &q, 3.0, 0.0);
+        let b = audit_exact(&q, &p, 3.0, 0.0);
+        assert!((a.max_log_ratio - b.max_log_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_audit_smooths_zeros() {
+        let p = [990u64, 10, 0];
+        let q = [980u64, 19, 1];
+        let r = audit_empirical(&p, &q, 1.0, 0.5);
+        assert!(r.max_log_ratio.is_finite());
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn empirical_audit_flags_gross_violation() {
+        let p = [1000u64, 0];
+        let q = [0u64, 1000];
+        let r = audit_empirical(&p, &q, 1.0, 0.5);
+        assert!(!r.holds);
+    }
+}

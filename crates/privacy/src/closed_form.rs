@@ -1,0 +1,92 @@
+//! Closed forms from Appendix E (Lemma 3).
+//!
+//! For `n = 2` the paper derives the exact probability that the Laplace
+//! mechanism recommends the higher-utility node, and observes that it does
+//! *not* coincide with the Exponential mechanism's probability — the two
+//! mechanisms are genuinely different even though their measured accuracy
+//! is nearly identical (§7.2 takeaway (ii)).
+
+/// Lemma 3: with `X₁, X₂ ~ Lap(0, 1/ε)` i.i.d. and `u₁ ≥ u₂`,
+/// `Pr[u₁ + X₁ > u₂ + X₂] = 1 − ½e^{−ε(u₁−u₂)} − ε(u₁−u₂)/(4e^{ε(u₁−u₂)})`.
+///
+/// `eps` here is the *rate* `ε/Δf` when sensitivities are not 1.
+pub fn laplace_two_candidate_win_prob(eps: f64, diff: f64) -> f64 {
+    assert!(diff >= 0.0, "u1 must be the larger utility");
+    assert!(eps >= 0.0);
+    let d = eps * diff;
+    1.0 - 0.5 * (-d).exp() - d / (4.0 * d.exp())
+}
+
+/// The Exponential mechanism's probability of recommending the
+/// higher-utility of two candidates under the paper's Def. 5 scaling:
+/// `e^{ε·u₁/Δ} / (e^{ε·u₁/Δ} + e^{ε·u₂/Δ})` — a logistic in `ε(u₁−u₂)/Δ`.
+pub fn exponential_two_candidate_win_prob(eps: f64, diff: f64) -> f64 {
+    assert!(diff >= 0.0, "u1 must be the larger utility");
+    let d = eps * diff;
+    1.0 / (1.0 + (-d).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace_dist::Laplace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_gap_is_a_coin_flip_for_both() {
+        assert!((laplace_two_candidate_win_prob(1.0, 0.0) - 0.5).abs() < 1e-12);
+        assert!((exponential_two_candidate_win_prob(1.0, 0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_increase_to_one_with_gap() {
+        let mut prev_l = 0.0;
+        let mut prev_e = 0.0;
+        for d in [0.1, 0.5, 1.0, 2.0, 5.0, 20.0] {
+            let l = laplace_two_candidate_win_prob(1.0, d);
+            let e = exponential_two_candidate_win_prob(1.0, d);
+            assert!(l > prev_l && e > prev_e, "not monotone at {d}");
+            prev_l = l;
+            prev_e = e;
+        }
+        assert!(prev_l > 0.999);
+        assert!(prev_e > 0.999);
+    }
+
+    #[test]
+    fn lemma3_matches_monte_carlo() {
+        let (eps, diff) = (0.7, 1.8);
+        let expected = laplace_two_candidate_win_prob(eps, diff);
+        let noise = Laplace::new(1.0 / eps);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let trials = 400_000;
+        let mut wins = 0usize;
+        for _ in 0..trials {
+            if diff + noise.sample(&mut rng) > noise.sample(&mut rng) {
+                wins += 1;
+            }
+        }
+        let got = wins as f64 / trials as f64;
+        assert!((got - expected).abs() < 0.003, "MC {got} vs Lemma 3 {expected}");
+    }
+
+    /// Appendix E's point: the mechanisms are *not* isomorphic — the
+    /// closed forms differ at finite gaps.
+    #[test]
+    fn laplace_and_exponential_differ() {
+        let mut max_gap = 0.0f64;
+        for d in [0.5, 1.0, 2.0, 3.0] {
+            let l = laplace_two_candidate_win_prob(1.0, d);
+            let e = exponential_two_candidate_win_prob(1.0, d);
+            max_gap = max_gap.max((l - e).abs());
+        }
+        assert!(max_gap > 0.01, "closed forms should differ, max gap {max_gap}");
+    }
+
+    #[test]
+    fn known_value_check() {
+        // d = εΔu = 1: 1 − ½e⁻¹ − 1/(4e) = 1 − 0.5/e − 0.25/e.
+        let expected = 1.0 - 0.75 / std::f64::consts::E;
+        assert!((laplace_two_candidate_win_prob(1.0, 1.0) - expected).abs() < 1e-12);
+    }
+}

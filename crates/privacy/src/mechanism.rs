@@ -1,0 +1,123 @@
+//! The mechanism abstraction.
+
+use psr_graph::NodeId;
+use psr_utility::UtilityVector;
+use rand::Rng;
+
+/// Outcome of one mechanism invocation.
+///
+/// Any DP mechanism must put positive probability on *every* candidate,
+/// including the (typically enormous) zero-utility class [24]. Utility
+/// vectors store that class as a count, so a draw landing there names the
+/// class instead of a particular node; callers that need a concrete id
+/// resolve it uniformly (all zero-utility candidates are exchangeable —
+/// the paper's Axiom 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recommendation {
+    /// A specific candidate was recommended.
+    Node(NodeId),
+    /// A uniformly random member of the zero-utility class was recommended.
+    ZeroUtilityClass,
+}
+
+/// A differentially private single-recommendation mechanism operating on a
+/// utility vector (the formalisation of §3.1: the algorithm is a
+/// probability vector derived from `~u`).
+pub trait Mechanism: Send + Sync {
+    /// Short stable name for reports and benchmarks.
+    fn name(&self) -> String;
+
+    /// Draws one recommendation.
+    ///
+    /// # Panics
+    /// Implementations may panic if `u` is empty.
+    fn recommend(
+        &self,
+        u: &UtilityVector,
+        eps: f64,
+        sensitivity: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Recommendation;
+
+    /// Expected accuracy `E[u_rec] / u_max` (Def. 2 numerator for this
+    /// input). Exact where a closed form exists, Monte-Carlo otherwise.
+    ///
+    /// # Panics
+    /// Panics if `u` is all-zero — such targets are dropped by the
+    /// experimental protocol (§7.1) because accuracy is undefined.
+    fn expected_accuracy(
+        &self,
+        u: &UtilityVector,
+        eps: f64,
+        sensitivity: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> f64;
+}
+
+/// Resolves a [`Recommendation`] to a concrete node id, choosing uniformly
+/// from the zero-utility members of `candidates` when needed. Returns
+/// `None` only when the class is empty (cannot happen for draws produced
+/// against the same vector).
+pub fn resolve_recommendation(
+    rec: Recommendation,
+    u: &UtilityVector,
+    candidates: &psr_utility::CandidateSet,
+    rng: &mut dyn rand::RngCore,
+) -> Option<NodeId> {
+    match rec {
+        Recommendation::Node(v) => Some(v),
+        Recommendation::ZeroUtilityClass => {
+            let total = u.num_zero();
+            if total == 0 {
+                return None;
+            }
+            let pick = rng.gen_range(0..total);
+            candidates.iter().filter(|&v| u.get(v) == 0.0).nth(pick)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_graph::{Direction, GraphBuilder};
+    use psr_utility::{CandidateSet, UtilityFunction};
+    use rand::SeedableRng;
+
+    #[test]
+    fn resolve_zero_class_picks_a_zero_utility_candidate() {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2)])
+            .with_num_nodes(6)
+            .build()
+            .unwrap();
+        let candidates = CandidateSet::for_target(&g, 0);
+        let u = psr_utility::CommonNeighbors.utilities(&g, 0, &candidates);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let v =
+                resolve_recommendation(Recommendation::ZeroUtilityClass, &u, &candidates, &mut rng)
+                    .unwrap();
+            assert!(candidates.contains(v));
+            assert_eq!(u.get(v), 0.0);
+        }
+        let v = resolve_recommendation(Recommendation::Node(2), &u, &candidates, &mut rng);
+        assert_eq!(v, Some(2));
+    }
+
+    #[test]
+    fn resolve_empty_zero_class_is_none() {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
+            .unwrap();
+        let candidates = CandidateSet::for_target(&g, 0);
+        let u = psr_utility::CommonNeighbors.utilities(&g, 0, &candidates);
+        assert_eq!(u.num_zero(), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(
+            resolve_recommendation(Recommendation::ZeroUtilityClass, &u, &candidates, &mut rng),
+            None
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The utility-function abstraction.
+
+use psr_graph::{Graph, NodeId};
+
+use crate::candidates::CandidateSet;
+use crate::sensitivity::Sensitivity;
+use crate::vector::UtilityVector;
+
+/// A graph link-analysis utility function (§3.1): assigns every candidate a
+/// goodness score for recommendation to a target, as a function of graph
+/// structure only.
+///
+/// Implementations must satisfy the paper's *exchangeability* axiom
+/// (Axiom 1): utilities depend only on the graph seen from the target, not
+/// on node identities. The property tests in this crate verify this under
+/// random relabelling for every bundled implementation.
+pub trait UtilityFunction: Send + Sync {
+    /// Short stable name used in reports and benchmarks.
+    fn name(&self) -> String;
+
+    /// Computes the utility vector for `target` over `candidates`.
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet)
+        -> UtilityVector;
+
+    /// Global sensitivity `Δf` (footnote 5) under the relaxed neighbourhood
+    /// of §5/§7: graphs differing in one edge *not incident to the target*.
+    /// `None` when no useful analytic bound is known (the empirical auditor
+    /// still applies).
+    fn sensitivity(&self, graph: &Graph) -> Option<Sensitivity>;
+
+    /// The per-target edit distance `t`: how many edge alterations suffice
+    /// to raise a zero-utility candidate to strictly-highest utility.
+    /// Defaults to `None`; the §7.1 closed forms are provided by the
+    /// concrete utilities that have them.
+    fn edit_distance_t(&self, _graph: &Graph, _target: NodeId, _u: &UtilityVector) -> Option<u64> {
+        None
+    }
+
+    /// Convenience: utilities with the standard candidate policy.
+    fn utilities_for(&self, graph: &Graph, target: NodeId) -> UtilityVector {
+        let candidates = CandidateSet::for_target(graph, target);
+        self.utilities(graph, target, &candidates)
+    }
+}

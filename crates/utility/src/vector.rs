@@ -1,0 +1,216 @@
+//! Sparse utility vectors.
+
+use serde::{Deserialize, Serialize};
+
+use psr_graph::NodeId;
+
+/// A sparse utility vector over a candidate set.
+///
+/// Real utility vectors are overwhelmingly zero (§4.2: only the 2-hop
+/// neighbourhood can score under common neighbours, "10s or 100s" of nodes
+/// in graphs of millions), so we store non-zero entries explicitly and the
+/// zero candidates as a count. All evaluation code (mechanism accuracy,
+/// theoretical bounds) works in this representation without materialising
+/// the dense vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilityVector {
+    /// `(candidate, utility)` pairs with utility > 0, sorted by node id.
+    nonzero: Vec<(NodeId, f64)>,
+    /// Number of candidates with utility exactly 0.
+    num_zero: usize,
+    /// Cached maximum utility (0 when the vector is all-zero).
+    u_max: f64,
+}
+
+impl UtilityVector {
+    /// Builds from sparse parts. `nonzero` must be sorted by node id, carry
+    /// strictly positive finite utilities and contain no duplicates.
+    ///
+    /// # Panics
+    /// Panics (debug) if invariants are violated.
+    pub fn from_sparse(mut nonzero: Vec<(NodeId, f64)>, num_zero: usize) -> Self {
+        nonzero.retain(|&(_, u)| u != 0.0);
+        debug_assert!(nonzero.windows(2).all(|w| w[0].0 < w[1].0), "unsorted or duplicate ids");
+        debug_assert!(nonzero.iter().all(|&(_, u)| u > 0.0 && u.is_finite()));
+        let u_max = nonzero.iter().map(|&(_, u)| u).fold(0.0, f64::max);
+        UtilityVector { nonzero, num_zero, u_max }
+    }
+
+    /// Builds from a dense slice where index = candidate id (used by tests
+    /// and the PageRank utility). Entries ≤ `tol` count as zero.
+    pub fn from_dense(utilities: &[f64], tol: f64) -> Self {
+        let mut nonzero = Vec::new();
+        let mut num_zero = 0usize;
+        for (v, &u) in utilities.iter().enumerate() {
+            if u > tol {
+                nonzero.push((v as NodeId, u));
+            } else {
+                num_zero += 1;
+            }
+        }
+        Self::from_sparse(nonzero, num_zero)
+    }
+
+    /// Non-zero `(candidate, utility)` entries sorted by node id.
+    pub fn nonzero(&self) -> &[(NodeId, f64)] {
+        &self.nonzero
+    }
+
+    /// Number of zero-utility candidates.
+    pub fn num_zero(&self) -> usize {
+        self.num_zero
+    }
+
+    /// Total candidate count (zero + non-zero).
+    pub fn len(&self) -> usize {
+        self.nonzero.len() + self.num_zero
+    }
+
+    /// Whether there are no candidates at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum utility `u_max` (0 for an all-zero vector). The denominator
+    /// of the paper's accuracy measure (Def. 2).
+    pub fn u_max(&self) -> f64 {
+        self.u_max
+    }
+
+    /// Whether every candidate has zero utility — such targets are dropped
+    /// from the experiments (§7.1 footnote 10).
+    pub fn is_all_zero(&self) -> bool {
+        self.nonzero.is_empty()
+    }
+
+    /// Utility of a specific candidate (0 when absent).
+    pub fn get(&self, node: NodeId) -> f64 {
+        match self.nonzero.binary_search_by_key(&node, |&(v, _)| v) {
+            Ok(i) => self.nonzero[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of all utilities.
+    pub fn total(&self) -> f64 {
+        self.nonzero.iter().map(|&(_, u)| u).sum()
+    }
+
+    /// The node achieving `u_max`, if any (lowest id on ties — a stable
+    /// stand-in for `R_best`).
+    pub fn argmax(&self) -> Option<NodeId> {
+        let mut best: Option<(NodeId, f64)> = None;
+        for &(v, u) in &self.nonzero {
+            match best {
+                Some((_, bu)) if bu >= u => {}
+                _ => best = Some((v, u)),
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Distinct utility values in *descending* order, with multiplicities,
+    /// including the zero class when present. Drives both the Corollary-1
+    /// `c`-sweep and the grouped Laplace max sampler.
+    pub fn grouped_desc(&self) -> Vec<(f64, usize)> {
+        let mut vals: Vec<f64> = self.nonzero.iter().map(|&(_, u)| u).collect();
+        vals.sort_by(|a, b| b.partial_cmp(a).expect("finite utilities"));
+        let mut grouped: Vec<(f64, usize)> = Vec::new();
+        for v in vals {
+            match grouped.last_mut() {
+                Some((val, count)) if *val == v => *count += 1,
+                _ => grouped.push((v, 1)),
+            }
+        }
+        if self.num_zero > 0 {
+            grouped.push((0.0, self.num_zero));
+        }
+        grouped
+    }
+
+    /// Number of candidates with utility strictly above `threshold`.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.nonzero.iter().filter(|&&(_, u)| u > threshold).count()
+    }
+
+    /// Expected utility `Σ uᵢpᵢ` of a probability assignment given as
+    /// `(probability of each non-zero candidate, aggregate probability of
+    /// the zero class)` — zero-class probability contributes nothing but is
+    /// accepted for interface symmetry.
+    pub fn expected_utility(&self, nonzero_probs: &[f64], _zero_prob: f64) -> f64 {
+        assert_eq!(nonzero_probs.len(), self.nonzero.len());
+        self.nonzero.iter().zip(nonzero_probs).map(|(&(_, u), &p)| u * p).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UtilityVector {
+        UtilityVector::from_sparse(vec![(2, 3.0), (5, 1.0), (9, 3.0)], 7)
+    }
+
+    #[test]
+    fn accessors() {
+        let u = sample();
+        assert_eq!(u.len(), 10);
+        assert_eq!(u.num_zero(), 7);
+        assert_eq!(u.u_max(), 3.0);
+        assert_eq!(u.get(2), 3.0);
+        assert_eq!(u.get(3), 0.0);
+        assert_eq!(u.total(), 7.0);
+        assert!(!u.is_all_zero());
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn argmax_prefers_lowest_id_on_ties() {
+        assert_eq!(sample().argmax(), Some(2));
+        let empty = UtilityVector::from_sparse(vec![], 4);
+        assert_eq!(empty.argmax(), None);
+        assert!(empty.is_all_zero());
+    }
+
+    #[test]
+    fn grouped_desc_includes_zero_class() {
+        let groups = sample().grouped_desc();
+        assert_eq!(groups, vec![(3.0, 2), (1.0, 1), (0.0, 7)]);
+    }
+
+    #[test]
+    fn count_above_thresholds() {
+        let u = sample();
+        assert_eq!(u.count_above(0.0), 3);
+        assert_eq!(u.count_above(1.0), 2);
+        assert_eq!(u.count_above(3.0), 0);
+    }
+
+    #[test]
+    fn from_dense_filters_small_values() {
+        let u = UtilityVector::from_dense(&[0.0, 0.5, 1e-15, 2.0], 1e-12);
+        assert_eq!(u.nonzero(), &[(1, 0.5), (3, 2.0)]);
+        assert_eq!(u.num_zero(), 2);
+    }
+
+    #[test]
+    fn from_sparse_drops_explicit_zeros() {
+        let u = UtilityVector::from_sparse(vec![(0, 0.0), (1, 2.0)], 1);
+        assert_eq!(u.nonzero(), &[(1, 2.0)]);
+    }
+
+    #[test]
+    fn expected_utility_weights_nonzero_entries() {
+        let u = sample();
+        let e = u.expected_utility(&[0.5, 0.25, 0.25], 0.0);
+        assert!((e - (3.0 * 0.5 + 1.0 * 0.25 + 3.0 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let u = sample();
+        let json = serde_json::to_string(&u).unwrap();
+        let back: UtilityVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, u);
+    }
+}

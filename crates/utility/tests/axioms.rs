@@ -1,0 +1,177 @@
+//! Property tests for the paper's utility-function axioms (§4.1) and the
+//! analytic sensitivity bounds.
+
+use proptest::prelude::*;
+use psr_graph::{Direction, GraphBuilder, NodeId};
+use psr_utility::{
+    empirical_sensitivity, CandidateSet, CommonNeighbors, PersonalizedPageRank, UtilityFunction,
+    WeightedPaths,
+};
+
+fn edge_set(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 1..max_edges)
+        .prop_map(|pairs| pairs.into_iter().filter(|(u, v)| u != v).collect())
+}
+
+const N: u32 = 12;
+
+fn build(edges: &[(u32, u32)]) -> psr_graph::Graph {
+    GraphBuilder::new(Direction::Undirected)
+        .add_edges(edges.iter().copied())
+        .with_num_nodes(N as usize)
+        .build()
+        .unwrap()
+}
+
+/// Applies a node permutation to a graph.
+fn relabel(edges: &[(u32, u32)], perm: &[u32]) -> Vec<(u32, u32)> {
+    edges.iter().map(|&(u, v)| (perm[u as usize], perm[v as usize])).collect()
+}
+
+/// Exchangeability (Axiom 1): for any isomorphism h fixing the target,
+/// u^{G,r}_i = u^{G_h,r}_{h(i)}.
+fn check_exchangeability<U: UtilityFunction>(
+    utility: &U,
+    edges: &[(u32, u32)],
+    perm: &[u32],
+    target: u32,
+) -> Result<(), TestCaseError> {
+    let g = build(edges);
+    let h = build(&relabel(edges, perm));
+    let u_g = utility.utilities_for(&g, target);
+    let u_h = utility.utilities_for(&h, perm[target as usize]);
+    for i in 0..N {
+        if i == target {
+            continue;
+        }
+        let a = u_g.get(i);
+        let b = u_h.get(perm[i as usize]);
+        prop_assert!((a - b).abs() < 1e-9, "u({i}) = {a} vs u(h({i})) = {b}");
+    }
+    Ok(())
+}
+
+/// A permutation of 0..N that fixes `target`.
+fn permutation_fixing(target: u32) -> impl Strategy<Value = Vec<u32>> {
+    Just((0..N).filter(|&v| v != target).collect::<Vec<u32>>()).prop_shuffle().prop_map(
+        move |others| {
+            let mut perm = vec![0u32; N as usize];
+            perm[target as usize] = target;
+            let mut it = others.into_iter();
+            for v in 0..N {
+                if v != target {
+                    perm[v as usize] = it.next().unwrap();
+                }
+            }
+            perm
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn common_neighbors_exchangeable(
+        edges in edge_set(N, 30),
+        perm in permutation_fixing(0),
+    ) {
+        check_exchangeability(&CommonNeighbors, &edges, &perm, 0)?;
+    }
+
+    #[test]
+    fn weighted_paths_exchangeable(
+        edges in edge_set(N, 30),
+        perm in permutation_fixing(0),
+    ) {
+        check_exchangeability(&WeightedPaths::paper(0.05), &edges, &perm, 0)?;
+    }
+
+    #[test]
+    fn pagerank_exchangeable(
+        edges in edge_set(N, 30),
+        perm in permutation_fixing(0),
+    ) {
+        let ppr = PersonalizedPageRank { alpha: 0.8, iterations: 40, tolerance: 1e-12 };
+        check_exchangeability(&ppr, &edges, &perm, 0)?;
+    }
+
+    #[test]
+    fn adamic_adar_exchangeable(
+        edges in edge_set(N, 30),
+        perm in permutation_fixing(0),
+    ) {
+        check_exchangeability(&psr_utility::extra::AdamicAdar, &edges, &perm, 0)?;
+    }
+
+    /// The analytic Δf bounds dominate every observed single-edge change.
+    #[test]
+    fn sensitivity_bounds_hold_empirically(
+        edges in edge_set(N, 30),
+        a in 1u32..N,
+        b in 1u32..N,
+    ) {
+        prop_assume!(a != b);
+        let g = build(&edges);
+        let probes = [(0 as NodeId, (a, b))];
+
+        let cn = CommonNeighbors;
+        let obs = empirical_sensitivity(&cn, &g, &probes);
+        let bound = cn.sensitivity(&g).unwrap();
+        prop_assert!(obs.l1 <= bound.l1 + 1e-9, "CN L1 {} > {}", obs.l1, bound.l1);
+        prop_assert!(obs.linf <= bound.linf + 1e-9);
+
+        for gamma in [0.0005, 0.05, 0.3] {
+            let wp = WeightedPaths::paper(gamma);
+            let obs = empirical_sensitivity(&wp, &g, &probes);
+            // The bound is stated for the larger of the two graphs' d_max;
+            // toggling can add 1.
+            let mut m = psr_graph::MutableGraph::from(&g);
+            m.toggle_edge(a, b).unwrap();
+            let worst_dmax_graph =
+                if m.freeze().max_degree() > g.max_degree() { m.freeze() } else { g.clone() };
+            let bound = wp.sensitivity(&worst_dmax_graph).unwrap();
+            prop_assert!(
+                obs.l1 <= bound.l1 + 1e-9,
+                "WP(γ={gamma}) L1 {} > {}", obs.l1, bound.l1
+            );
+            prop_assert!(obs.linf <= bound.linf + 1e-9);
+        }
+    }
+
+    /// Utility vectors always cover the full candidate set.
+    #[test]
+    fn vectors_cover_candidates(edges in edge_set(N, 30), target in 0u32..N) {
+        let g = build(&edges);
+        let candidates = CandidateSet::for_target(&g, target);
+        let functions: Vec<Box<dyn UtilityFunction>> = vec![
+            Box::new(CommonNeighbors),
+            Box::new(WeightedPaths::paper(0.05)),
+            Box::new(WeightedPaths { gamma: 0.0, max_len: 3 }),
+            Box::new(PersonalizedPageRank::default()),
+            Box::new(psr_utility::extra::AdamicAdar),
+            Box::new(psr_utility::extra::Jaccard),
+            Box::new(psr_utility::extra::PreferentialAttachment),
+        ];
+        for f in &functions {
+            let u = f.utilities(&g, target, &candidates);
+            prop_assert_eq!(u.len(), candidates.len(), "{} breaks coverage", f.name());
+            // No excluded node sneaks into the support.
+            for &(v, _) in u.nonzero() {
+                prop_assert!(candidates.contains(v), "{} scored non-candidate {v}", f.name());
+            }
+        }
+    }
+
+    /// Weighted paths at γ→0 converge to common neighbours.
+    #[test]
+    fn weighted_paths_limit_is_common_neighbors(edges in edge_set(N, 30), target in 0u32..N) {
+        let g = build(&edges);
+        let wp = WeightedPaths::paper(1e-9);
+        let a = wp.utilities_for(&g, target);
+        let b = CommonNeighbors.utilities_for(&g, target);
+        for i in 0..N {
+            prop_assert!((a.get(i) - b.get(i)).abs() < 1e-5);
+        }
+    }
+}

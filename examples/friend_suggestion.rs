@@ -1,0 +1,58 @@
+//! "People You May Know", privately — the paper's §1 motivating scenario.
+//!
+//! Builds a Wikipedia-vote-scale social graph and asks: if the platform
+//! must guarantee ε-differential edge privacy, what suggestion quality can
+//! members of different connectivity levels expect, and does the choice of
+//! link-analysis utility matter?
+//!
+//! Run with `cargo run --release --example friend_suggestion`.
+
+use psr_core::{evaluate_target, ExperimentConfig};
+use psr_datasets::{wiki_vote_like, PresetConfig};
+use psr_utility::extra::{AdamicAdar, Jaccard};
+use psr_utility::{CommonNeighbors, SensitivityNorm, UtilityFunction};
+use rand::SeedableRng;
+
+fn main() {
+    let scale = std::env::var("PSR_SCALE").map_or(0.25, |s| s.parse().expect("numeric scale"));
+    let (graph, meta) = wiki_vote_like(PresetConfig::scaled(scale, 2011)).unwrap();
+    println!("{}\n", meta.summary());
+
+    let epsilon = 1.0;
+    let utilities: Vec<Box<dyn UtilityFunction>> =
+        vec![Box::new(CommonNeighbors), Box::new(AdamicAdar), Box::new(Jaccard)];
+
+    // Pick three representative members: weakly, moderately and strongly
+    // connected (the paper's Fig. 2(c) dimension).
+    let mut by_degree: Vec<u32> = graph.nodes().filter(|&v| graph.degree(v) > 0).collect();
+    by_degree.sort_by_key(|&v| graph.degree(v));
+    let picks = [
+        ("low-degree", by_degree[by_degree.len() / 20]),
+        ("median", by_degree[by_degree.len() / 2]),
+        ("hub", *by_degree.last().unwrap()),
+    ];
+
+    let config = ExperimentConfig { epsilon, eval_laplace: false, ..Default::default() };
+    println!("expected suggestion accuracy at ε = {epsilon}:");
+    println!("{:>22} {:>10} {:>12} {:>12} {:>12}", "member", "degree", "common-nbrs", "adamic-adar", "jaccard");
+    for (label, member) in picks {
+        let mut row = format!("{:>22} {:>10}", format!("{label} (#{member})"), graph.degree(member));
+        for utility in &utilities {
+            let sens = utility.sensitivity(&graph).unwrap().value(SensitivityNorm::L1);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7 + member as u64);
+            let eval =
+                evaluate_target(&graph, utility.as_ref(), &config, sens, member, &mut rng);
+            match eval {
+                Some(e) => row.push_str(&format!(" {:>12.4}", e.accuracy_exponential)),
+                None => row.push_str(&format!(" {:>12}", "n/a")),
+            }
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nTakeaway (paper §7.2): the least connected members — the ones who\n\
+         would benefit most from suggestions — are exactly the ones whose\n\
+         suggestions privacy degrades the most, under every utility function."
+    );
+}

@@ -1,0 +1,75 @@
+//! Private page/celebrity recommendation on a directed follow graph —
+//! the paper's Facebook-Pages / Twitter who-to-follow scenario (§1, §7).
+//!
+//! Demonstrates two things on a Twitter-like directed graph:
+//! 1. the privacy leak that motivates the paper (a recommendation crossing
+//!    a community bridge reveals the bridge edge), and
+//! 2. the accuracy price of closing that leak with ε-DP mechanisms under
+//!    the weighted-paths utility, across γ and ε.
+//!
+//! Run with `cargo run --release --example page_recommendation`.
+
+use psr_core::{evaluate_target, AccuracyCdf, ExperimentConfig};
+use psr_datasets::toy::two_communities;
+use psr_datasets::{twitter_like, PresetConfig};
+use psr_utility::{CommonNeighbors, SensitivityNorm, UtilityFunction, WeightedPaths};
+use rand::SeedableRng;
+
+fn main() {
+    // --- Part 1: the leak, on a 10-node toy graph -----------------------
+    let toy = two_communities();
+    let u = CommonNeighbors.utilities_for(&toy, 0);
+    println!("two cliques {{0..4}} and {{5..9}} joined only by the edge (4,5):");
+    println!(
+        "  the *non-private* best recommendation for node 0 is node {} — \n\
+         \x20 any observer learns the bridge edge (4,5) exists. That inference\n\
+         \x20 is exactly what differential privacy must suppress.\n",
+        u.argmax().unwrap()
+    );
+
+    // --- Part 2: what suppression costs at Twitter scale -----------------
+    let scale = std::env::var("PSR_SCALE").map_or(0.05, |s| s.parse().expect("numeric scale"));
+    let (graph, meta) = twitter_like(PresetConfig::scaled(scale, 2011)).unwrap();
+    println!("{}\n", meta.summary());
+
+    let mut sampler = rand::rngs::StdRng::seed_from_u64(99);
+    let targets: Vec<u32> = {
+        use rand::seq::IteratorRandom;
+        graph.nodes().choose_multiple(&mut sampler, 150)
+    };
+
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>14}",
+        "γ", "ε", "median acc", "90th pct", "% below 0.1"
+    );
+    for gamma in [0.0005, 0.05] {
+        for eps in [1.0, 3.0] {
+            let wp = WeightedPaths::paper(gamma);
+            let sens = wp.sensitivity(&graph).unwrap().value(SensitivityNorm::L1);
+            let config = ExperimentConfig { epsilon: eps, eval_laplace: false, ..Default::default() };
+            let accs: Vec<f64> = targets
+                .iter()
+                .filter_map(|&t| {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(500 + t as u64);
+                    evaluate_target(&graph, &wp, &config, sens, t, &mut rng)
+                })
+                .map(|e| e.accuracy_exponential)
+                .collect();
+            if accs.is_empty() {
+                continue;
+            }
+            let cdf = AccuracyCdf::new(accs);
+            println!(
+                "{gamma:>10} {eps:>10} {:>14.4} {:>14.4} {:>13.1}%",
+                cdf.quantile(0.5),
+                cdf.quantile(0.9),
+                cdf.fraction_at_most(0.1) * 100.0
+            );
+        }
+    }
+    println!(
+        "\nTakeaway (paper Fig. 2(b)): on follow graphs of this sparsity the\n\
+         overwhelming majority of users cannot receive accurate private\n\
+         page recommendations even at the lenient ε = 3."
+    );
+}

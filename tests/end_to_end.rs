@@ -1,0 +1,121 @@
+//! End-to-end integration: datasets → utilities → mechanisms → bounds →
+//! figures, at reduced scale.
+
+use psr_core::figures::{fig1a, fig1b, fig2a, fig2c, FigureConfig};
+use psr_core::report::render_figure;
+use psr_core::{Recommender, RecommenderConfig};
+use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_privacy::{ExponentialMechanism, LaplaceMechanism};
+use psr_utility::{CommonNeighbors, WeightedPaths};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn full_pipeline_on_scaled_wiki() {
+    let (graph, meta) = wiki_vote_like(PresetConfig::scaled(0.08, 11)).unwrap();
+    assert!(meta.num_nodes > 500);
+    let rec = Recommender::new(
+        graph.clone(),
+        Box::new(CommonNeighbors),
+        Box::new(ExponentialMechanism::paper()),
+        RecommenderConfig { epsilon: 1.0, ..Default::default() },
+    );
+    let mut r = rng(1);
+    let mut served = 0;
+    for target in (0..graph.num_nodes() as u32).step_by(97) {
+        if let Some(v) = rec.recommend(target, &mut r) {
+            assert_ne!(v, target);
+            assert!(!graph.has_edge(target, v));
+            served += 1;
+        }
+    }
+    assert!(served > 3, "should serve most sampled targets");
+}
+
+#[test]
+fn full_pipeline_on_scaled_twitter_directed() {
+    let (graph, _) = twitter_like(PresetConfig::scaled(0.02, 11)).unwrap();
+    assert!(graph.is_directed());
+    let rec = Recommender::new(
+        graph,
+        Box::new(WeightedPaths::paper(0.005)),
+        Box::new(LaplaceMechanism { trials: 100 }),
+        RecommenderConfig { epsilon: 2.0, ..Default::default() },
+    );
+    let mut r = rng(2);
+    // Node 0 is the forced hub; it must have candidates and a valid draw.
+    let v = rec.recommend(0, &mut r);
+    assert!(v.is_some());
+}
+
+#[test]
+fn figures_have_paper_structure_and_are_deterministic() {
+    let cfg = FigureConfig::smoke(0.05, 17);
+    let a1 = fig1a(&cfg);
+    let a2 = fig1a(&cfg);
+    assert_eq!(a1, a2, "figures must be seed-deterministic");
+
+    for fig in [a1, fig2a(&cfg)] {
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 11, "paper grid is 0.0..1.0 step 0.1");
+            assert!(s.points.windows(2).all(|w| w[1].1 >= w[0].1), "CDFs are monotone");
+            assert!((s.points[10].1 - 1.0).abs() < 1e-12);
+        }
+        let text = render_figure(&fig);
+        assert!(text.contains("Theor. Bound"));
+    }
+}
+
+#[test]
+fn twitter_figure_shows_harsher_tradeoff_than_wiki() {
+    // The paper's headline comparison: G_T fares far worse than G_WV at
+    // the same ε because utility mass is thinner relative to n.
+    let cfg = FigureConfig::smoke(0.03, 23);
+    let wiki = fig1a(&cfg);
+    let twitter = fig1b(&cfg);
+    // Compare "Exponential ε=1" at accuracy ≤ 0.1: the fraction of starved
+    // nodes must be much larger on the Twitter-like graph.
+    let frac_below = |fig: &psr_core::figures::FigureResult, label: &str| -> f64 {
+        let s = fig.series.iter().find(|s| s.label == label).expect("series exists");
+        s.points.iter().find(|p| (p.0 - 0.1).abs() < 1e-9).unwrap().1
+    };
+    let wiki_frac = frac_below(&wiki, "Exponential ε=1");
+    let twitter_frac = frac_below(&twitter, "Exponential ε=1");
+    assert!(
+        twitter_frac > wiki_frac,
+        "twitter {twitter_frac} should be starved more than wiki {wiki_frac}"
+    );
+    assert!(twitter_frac > 0.8, "paper reports ~98% starved at ε=1, got {twitter_frac}");
+}
+
+#[test]
+fn fig2c_low_degree_nodes_suffer() {
+    let fig = fig2c(&FigureConfig::smoke(0.08, 29));
+    let exp = &fig.series[0];
+    // Mean accuracy in the lowest degree bin is below the best bin by a
+    // clear margin (Fig. 2(c)'s message).
+    let lowest = exp.points.first().unwrap().1;
+    let best = exp.points.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    assert!(best > lowest, "degree trend missing: lowest {lowest} best {best}");
+}
+
+#[test]
+fn experiment_results_serialise_to_json() {
+    let (graph, _) = wiki_vote_like(PresetConfig::scaled(0.05, 31)).unwrap();
+    let result = psr_core::run_experiment(
+        &graph,
+        &CommonNeighbors,
+        &psr_core::ExperimentConfig {
+            target_fraction: 0.05,
+            eval_laplace: false,
+            ..Default::default()
+        },
+    );
+    let json = result.to_json();
+    let back: psr_core::ExperimentResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, result);
+    assert!(json.contains("accuracy_exponential"));
+}
