@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psr_bench::{median_target, wiki_graph};
 use psr_bounds::{best_accuracy_bound, corollary1_accuracy_upper_bound};
-use psr_privacy::{
-    ExponentialMechanism, ExponentialScaling, Laplace, LaplaceMechanism, Mechanism,
-};
+use psr_privacy::{ExponentialMechanism, ExponentialScaling, Laplace, LaplaceMechanism, Mechanism};
 use psr_utility::{CommonNeighbors, SensitivityNorm, UtilityFunction};
 use rand::SeedableRng;
 
@@ -166,11 +164,7 @@ fn ablation_graph_model(c: &mut Criterion) {
     };
     for (name, graph) in [("preferential_attachment", &ba), ("erdos_renyi", &er)] {
         let result = run_experiment(graph, &CommonNeighbors, &config);
-        let starved = result
-            .exponential_accuracies()
-            .iter()
-            .filter(|&&a| a <= 0.1)
-            .count() as f64
+        let starved = result.exponential_accuracies().iter().filter(|&&a| a <= 0.1).count() as f64
             / result.evaluations.len() as f64;
         println!("[ablation_graph_model] {name}: {:.0}% of nodes ≤ 0.1 accuracy", starved * 100.0);
     }

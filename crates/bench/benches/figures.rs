@@ -5,8 +5,7 @@
 #![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
 use criterion::{criterion_group, criterion_main, Criterion};
 use psr_core::figures::{
-    fig1a, fig1b, fig2a, fig2b, fig2c, lap_vs_exp, lemma3_curves, smoothing_tradeoff,
-    FigureConfig,
+    fig1a, fig1b, fig2a, fig2b, fig2c, lap_vs_exp, lemma3_curves, smoothing_tradeoff, FigureConfig,
 };
 
 fn figure_config(scale: f64) -> FigureConfig {

@@ -20,10 +20,7 @@ fn wiki_vector() -> UtilityVector {
 
 /// A synthetic wide vector stressing the non-zero path.
 fn wide_vector(nonzero: u32, zeros: usize) -> UtilityVector {
-    UtilityVector::from_sparse(
-        (0..nonzero).map(|i| (i, 1.0 + (i % 17) as f64)).collect(),
-        zeros,
-    )
+    UtilityVector::from_sparse((0..nonzero).map(|i| (i, 1.0 + (i % 17) as f64)).collect(), zeros)
 }
 
 fn bench_mechanisms(c: &mut Criterion) {

@@ -31,9 +31,7 @@ fn bench_utilities(c: &mut Criterion) {
     group.bench_function("adamic_adar_wiki", |b| {
         b.iter(|| AdamicAdar.utilities_for(&wiki, wiki_target))
     });
-    group.bench_function("jaccard_wiki", |b| {
-        b.iter(|| Jaccard.utilities_for(&wiki, wiki_target))
-    });
+    group.bench_function("jaccard_wiki", |b| b.iter(|| Jaccard.utilities_for(&wiki, wiki_target)));
     group.bench_function("preferential_attachment_wiki", |b| {
         b.iter(|| PreferentialAttachment.utilities_for(&wiki, wiki_target))
     });

@@ -129,9 +129,11 @@ mod tests {
     fn lemma1_inverts_corollary1() {
         // Keep ε·t moderate: beyond ~e³⁵ the implied δ underflows f64 and
         // the inversion is meaningless.
-        for &(eps, t, n, k, c) in
-            &[(0.5, 10u64, 10_000usize, 5usize, 0.9), (1.0, 3, 500, 2, 0.5), (2.0, 5, 1_000_000, 50, 0.99)]
-        {
+        for &(eps, t, n, k, c) in &[
+            (0.5, 10u64, 10_000usize, 5usize, 0.9),
+            (1.0, 3, 500, 2, 0.5),
+            (2.0, 5, 1_000_000, 50, 0.99),
+        ] {
             let acc = corollary1_accuracy_upper_bound(eps, t, n, k, c);
             let delta = 1.0 - acc;
             let back = lemma1_eps_lower_bound(c, delta, n, k, t);

@@ -107,8 +107,7 @@ mod tests {
         // larger to permit the same accuracy.
         let full = lemma1_partial(0.9, 0.2, 100_000, 10, 20, SensitivityPolicy::AllEdges).unwrap();
         let sparse =
-            lemma1_partial(0.9, 0.2, 100_000, 10, 20, SensitivityPolicy::ExplicitCount(2))
-                .unwrap();
+            lemma1_partial(0.9, 0.2, 100_000, 10, 20, SensitivityPolicy::ExplicitCount(2)).unwrap();
         assert!(sparse > full);
     }
 
@@ -131,8 +130,9 @@ mod tests {
     fn ceiling_tightens_as_sensitive_fraction_shrinks() {
         let mut prev = 1.0;
         for rho in [1.0, 0.5, 0.2, 0.1] {
-            let ceil = corollary1_partial(1.0, 20, 100_000, 5, 0.9, SensitivityPolicy::Fraction(rho))
-                .unwrap();
+            let ceil =
+                corollary1_partial(1.0, 20, 100_000, 5, 0.9, SensitivityPolicy::Fraction(rho))
+                    .unwrap();
             assert!(ceil <= prev + 1e-12, "rho {rho}: {ceil} > {prev}");
             prev = ceil;
         }

@@ -39,7 +39,7 @@ mod tests {
     #[test]
     fn constant_eps_kills_accuracy_at_scale() {
         let n = 96_403usize; // twitter-like
-        // For ε = 1: x = (e − 1)/(e − 1 + n) ≈ 1.8e-5.
+                             // For ε = 1: x = (e − 1)/(e − 1 + n) ≈ 1.8e-5.
         let mut lo = 0.0;
         let mut hi = 1.0 - 1e-12;
         for _ in 0..200 {

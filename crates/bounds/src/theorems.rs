@@ -58,12 +58,7 @@ pub fn theorem3_eps_lower_asymptotic(n: usize, d_r: usize) -> f64 {
 /// generalisation `ε ≥ (1/α)·(1−o(1))/(2c−1)`, realised through Lemma 2
 /// with `t = d_r + 2(c−1)d_r` edge changes (`⌈·⌉`). Returns `None` when
 /// `s > 1/9` leaves no valid rewiring factor.
-pub fn theorem3_eps_lower_finite(
-    n: usize,
-    d_r: usize,
-    beta: usize,
-    s: f64,
-) -> Option<f64> {
+pub fn theorem3_eps_lower_finite(n: usize, d_r: usize, beta: usize, s: f64) -> Option<f64> {
     let c = theorem3_c_factor(s)?;
     let t = (d_r as f64 + 2.0 * (c - 1.0) * d_r as f64).ceil() as u64;
     Some(lemma2_eps_lower_bound(n, beta, t.max(1)))

@@ -110,9 +110,9 @@ fn parse_recommend(rest: &[String]) -> Result<RecommendOptions, String> {
             it.next().ok_or(format!("{name} expects a value"))
         };
         match flag.as_str() {
-            "--target" => opts
-                .targets
-                .push(value("--target")?.parse().map_err(|e| format!("--target: {e}"))?),
+            "--target" => {
+                opts.targets.push(value("--target")?.parse().map_err(|e| format!("--target: {e}"))?)
+            }
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
             "--preset" => {
@@ -122,8 +122,7 @@ fn parse_recommend(rest: &[String]) -> Result<RecommendOptions, String> {
                 }
             }
             "--scale" => {
-                opts.scale =
-                    value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
                     return Err("--scale must be in (0, 1]".into());
                 }
@@ -150,9 +149,7 @@ fn parse_recommend(rest: &[String]) -> Result<RecommendOptions, String> {
                     return Err("--epsilon must be positive".into());
                 }
             }
-            "--seed" => {
-                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
-            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown recommend option {other:?}")),
         }
     }
@@ -231,9 +228,8 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         };
         match flag.as_str() {
             "--scale" => {
-                opts.scale = value("--scale")?
-                    .parse::<f64>()
-                    .map_err(|e| format!("--scale: {e}"))?;
+                opts.scale =
+                    value("--scale")?.parse::<f64>().map_err(|e| format!("--scale: {e}"))?;
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
                     return Err("--scale must be in (0, 1]".into());
                 }
@@ -291,7 +287,10 @@ mod tests {
     fn parses_other_subcommands() {
         assert!(matches!(parse(&argv("claims")).unwrap(), Command::Claims { .. }));
         assert!(matches!(parse(&argv("bounds example")).unwrap(), Command::Bounds { .. }));
-        assert!(matches!(parse(&argv("dataset wiki --scale 0.1")).unwrap(), Command::Dataset { .. }));
+        assert!(matches!(
+            parse(&argv("dataset wiki --scale 0.1")).unwrap(),
+            Command::Dataset { .. }
+        ));
         assert!(parse(&argv("bounds nope")).is_err());
         assert!(parse(&argv("")).is_err());
         assert!(parse(&argv("nonsense")).is_err());

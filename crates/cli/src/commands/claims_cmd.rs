@@ -25,7 +25,12 @@ pub fn run(opts: &Options) {
     for s in wiki.series.iter().filter(|s| s.label.starts_with("Exponential")) {
         let below_01 = s.points.iter().find(|p| (p.0 - 0.1).abs() < 1e-9).unwrap().1;
         let below_06 = s.points.iter().find(|p| (p.0 - 0.6).abs() < 1e-9).unwrap().1;
-        println!("{}: {:.0}% of nodes ≤ 0.1 accuracy, {:.0}% ≤ 0.6", s.label, below_01 * 100.0, below_06 * 100.0);
+        println!(
+            "{}: {:.0}% of nodes ≤ 0.1 accuracy, {:.0}% ≤ 0.6",
+            s.label,
+            below_01 * 100.0,
+            below_06 * 100.0
+        );
         println!("  (paper, ε=0.5: 60% ≤ 0.1; ε=1: 45% ≤ 0.1 and 60% ≤ 0.6)");
     }
     for s in wiki.series.iter().filter(|s| s.label.starts_with("Theor")) {
@@ -39,7 +44,12 @@ pub fn run(opts: &Options) {
     for s in &twitter.series {
         let below_01 = s.points.iter().find(|p| (p.0 - 0.1).abs() < 1e-9).unwrap().1;
         let below_03 = s.points.iter().find(|p| (p.0 - 0.3).abs() < 1e-9).unwrap().1;
-        println!("{}: {:.0}% of nodes ≤ 0.1 accuracy, {:.0}% ≤ 0.3", s.label, below_01 * 100.0, below_03 * 100.0);
+        println!(
+            "{}: {:.0}% of nodes ≤ 0.1 accuracy, {:.0}% ≤ 0.3",
+            s.label,
+            below_01 * 100.0,
+            below_03 * 100.0
+        );
     }
     println!("  (paper: 98% ≤ 0.01 at ε=1; 95% ≤ 0.1 and 79% ≤ 0.3 at ε=3)");
 

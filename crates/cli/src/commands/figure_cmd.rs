@@ -1,8 +1,8 @@
 //! `psr figure <id>` — regenerate one of the paper's figures.
 
 use psr_core::figures::{
-    fig1a, fig1b, fig2a, fig2b, fig2c, lap_vs_exp, lemma3_curves, smoothing_tradeoff,
-    FigureConfig, FigureResult,
+    fig1a, fig1b, fig2a, fig2b, fig2c, lap_vs_exp, lemma3_curves, smoothing_tradeoff, FigureConfig,
+    FigureResult,
 };
 use psr_core::report::{render_figure, render_mechanism_comparison};
 
@@ -33,11 +33,7 @@ pub fn run(id: &str, opts: &Options) {
             );
             println!(
                 "{}",
-                render_mechanism_comparison(
-                    &cmp.exponential,
-                    &cmp.laplace,
-                    Some(cmp.max_abs_gap)
-                )
+                render_mechanism_comparison(&cmp.exponential, &cmp.laplace, Some(cmp.max_abs_gap))
             );
             println!("mean |gap| = {:.5} over {} targets", cmp.mean_abs_gap, cmp.exponential.len());
             maybe_write_json(opts, &serde_json::to_string_pretty(&cmp).expect("serialisable"));

@@ -54,8 +54,7 @@ pub fn run(opts: &RecommendOptions) {
 
 fn load_graph(opts: &RecommendOptions) -> Graph {
     if let Some(path) = &opts.input {
-        let direction =
-            if opts.directed { Direction::Directed } else { Direction::Undirected };
+        let direction = if opts.directed { Direction::Directed } else { Direction::Undirected };
         return psr_datasets::load_snap(std::path::Path::new(path), direction)
             .unwrap_or_else(|e| panic!("loading {path}: {e}"));
     }

@@ -177,24 +177,20 @@ pub fn run_experiment(
     let chunk_size = targets.len().div_ceil(threads);
 
     let mut evaluations: Vec<Option<TargetEvaluation>> = vec![None; targets.len()];
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (chunk, out)) in
-            targets.chunks(chunk_size).zip(evaluations.chunks_mut(chunk_size)).enumerate()
-        {
+    std::thread::scope(|scope| {
+        for (chunk, out) in targets.chunks(chunk_size).zip(evaluations.chunks_mut(chunk_size)) {
             let config = *config;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, &target) in chunk.iter().enumerate() {
                     // Per-target stream: reordering threads cannot change
                     // any target's result.
-                    let mut rng =
-                        rng_from_seed(split_seed(config.seed, 0xE0_0000 + target as u64));
-                    out[i] = evaluate_target(graph, utility, &config, sensitivity, target, &mut rng);
+                    let mut rng = rng_from_seed(split_seed(config.seed, 0xE0_0000 + target as u64));
+                    out[i] =
+                        evaluate_target(graph, utility, &config, sensitivity, target, &mut rng);
                 }
-                let _ = chunk_idx;
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     let targets_sampled = targets.len();
     let evaluations: Vec<TargetEvaluation> = evaluations.into_iter().flatten().collect();

@@ -38,8 +38,7 @@ pub fn lap_vs_exp(cfg: &FigureConfig, epsilon: f64) -> MechanismComparison {
     let exponential: Vec<f64> = result.exponential_accuracies();
     let laplace: Vec<f64> = result.laplace_accuracies();
     assert_eq!(exponential.len(), laplace.len());
-    let gaps: Vec<f64> =
-        exponential.iter().zip(&laplace).map(|(a, b)| (a - b).abs()).collect();
+    let gaps: Vec<f64> = exponential.iter().zip(&laplace).map(|(a, b)| (a - b).abs()).collect();
     let mean_abs_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let max_abs_gap = gaps.iter().fold(0.0f64, |m, &g| m.max(g));
     MechanismComparison { epsilon, exponential, laplace, mean_abs_gap, max_abs_gap }
@@ -56,10 +55,7 @@ pub fn lemma3_curves(epsilon: f64) -> FigureResult {
     };
     let exponential = Series {
         label: format!("Exponential win prob, ε={epsilon}"),
-        points: grid
-            .iter()
-            .map(|&d| (d, exponential_two_candidate_win_prob(epsilon, d)))
-            .collect(),
+        points: grid.iter().map(|&d| (d, exponential_two_candidate_win_prob(epsilon, d))).collect(),
     };
     FigureResult {
         id: "lemma3".to_owned(),

@@ -27,6 +27,8 @@
 //! use psr_datasets::toy::karate_club;
 //! use psr_utility::CommonNeighbors;
 //! use psr_privacy::ExponentialMechanism;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
 //!
 //! let graph = karate_club();
 //! let rec = Recommender::new(
@@ -35,7 +37,8 @@
 //!     Box::new(ExponentialMechanism::paper()),
 //!     RecommenderConfig { epsilon: 1.0, ..Default::default() },
 //! );
-//! let mut rng = rand::thread_rng();
+//! // Seeded for reproducibility; `rand::thread_rng()` works the same way.
+//! let mut rng = StdRng::seed_from_u64(42);
 //! let suggestion = rec.recommend(0, &mut rng).unwrap();
 //! assert!(suggestion != 0);
 //! ```

@@ -63,9 +63,7 @@ impl Recommender {
         self.config
             .sensitivity_override
             .or_else(|| {
-                self.utility
-                    .sensitivity(&self.graph)
-                    .map(|s| s.value(self.config.sensitivity_norm))
+                self.utility.sensitivity(&self.graph).map(|s| s.value(self.config.sensitivity_norm))
             })
             .expect("utility reports no sensitivity and no override was given")
     }

@@ -66,10 +66,7 @@ pub fn render_mechanism_comparison(
     let e = AccuracyCdf::new(exp.to_vec());
     let l = AccuracyCdf::new(lap.to_vec());
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:>12} {:>14} {:>14}\n",
-        "quantile", "exponential", "laplace"
-    ));
+    out.push_str(&format!("{:>12} {:>14} {:>14}\n", "quantile", "exponential", "laplace"));
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
         out.push_str(&format!("{q:>12.2} {:>14.4} {:>14.4}\n", e.quantile(q), l.quantile(q)));
     }
@@ -125,11 +122,7 @@ mod tests {
 
     #[test]
     fn comparison_table_renders() {
-        let text = render_mechanism_comparison(
-            &[0.5, 0.6, 0.7],
-            &[0.49, 0.61, 0.69],
-            Some(0.012),
-        );
+        let text = render_mechanism_comparison(&[0.5, 0.6, 0.7], &[0.49, 0.61, 0.69], Some(0.012));
         assert!(text.contains("exponential"));
         assert!(text.contains("max per-target"));
         assert!(text.contains("0.012"));

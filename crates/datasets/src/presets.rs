@@ -76,10 +76,7 @@ pub fn twitter_like(config: PresetConfig) -> Result<(Graph, DatasetMeta)> {
     let hub_degree = config.apply(TWITTER_MAX_DEGREE).min(n - 1);
     let n_sinks = ((n as f64 * TWITTER_SINK_FRACTION) as usize).min(n / 4);
     let n_active = n - n_sinks;
-    let m = config
-        .apply(TWITTER_EDGES)
-        .saturating_sub(hub_degree + n_sinks)
-        .max(n_active);
+    let m = config.apply(TWITTER_EDGES).saturating_sub(hub_degree + n_sinks).max(n_active);
     let mut rng = rng_from_seed(split_seed(config.seed, 0x54_57_49_54));
     let base = ba_directed(BaParams { n: n_active, target_edges: m }, &mut rng)?;
 

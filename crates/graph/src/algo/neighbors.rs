@@ -99,17 +99,9 @@ mod tests {
 
     #[test]
     fn bulk_counts_match_pairwise_on_undirected() {
-        let g = undirected_from_edges([
-            (0, 1),
-            (0, 2),
-            (0, 3),
-            (1, 2),
-            (2, 3),
-            (3, 4),
-            (4, 5),
-            (1, 5),
-        ])
-        .unwrap();
+        let g =
+            undirected_from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (1, 5)])
+                .unwrap();
         for r in g.nodes() {
             let bulk = common_neighbor_counts(&g, r);
             for (i, c) in bulk {

@@ -73,8 +73,7 @@ impl WalkCounter {
             self.touched_cur.push(v);
         }
         self.touched_cur.sort_unstable();
-        per_length
-            .push(self.touched_cur.iter().map(|&v| (v, self.cur[ix(v)])).collect::<Vec<_>>());
+        per_length.push(self.touched_cur.iter().map(|&v| (v, self.cur[ix(v)])).collect::<Vec<_>>());
 
         for _ in 1..max_len {
             for &v in &self.touched_cur {

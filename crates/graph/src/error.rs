@@ -60,7 +60,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::EdgeNotFound { from, to } => write!(f, "edge ({from}, {to}) not found"),
             GraphError::EdgeExists { from, to } => write!(f, "edge ({from}, {to}) already exists"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Decode(msg) => write!(f, "binary decode error: {msg}"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

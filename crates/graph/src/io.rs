@@ -139,8 +139,7 @@ pub mod binary {
     /// Encodes a graph into the binary snapshot format.
     pub fn encode(graph: &Graph) -> Bytes {
         let n = graph.num_nodes();
-        let mut buf =
-            BytesMut::with_capacity(4 + 2 + 1 + 24 + (n + 1) * 8 + graph.num_arcs() * 4);
+        let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 24 + (n + 1) * 8 + graph.num_arcs() * 4);
         buf.put_slice(MAGIC);
         buf.put_u16_le(VERSION);
         buf.put_u8(if graph.is_directed() { 1 } else { 0 });

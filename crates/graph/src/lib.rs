@@ -35,8 +35,8 @@
 //! assert!(g.has_edge(0, 1));
 //! ```
 
-pub mod algo;
 mod adjacency;
+pub mod algo;
 mod builder;
 mod csr;
 mod error;

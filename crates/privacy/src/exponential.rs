@@ -51,12 +51,7 @@ impl ExponentialMechanism {
     /// individual* zero-utility candidate). Weights are shifted by `u_max`
     /// before exponentiation, so the largest exponent is 0 and the sum
     /// cannot overflow.
-    pub fn probabilities(
-        &self,
-        u: &UtilityVector,
-        eps: f64,
-        sensitivity: f64,
-    ) -> (Vec<f64>, f64) {
+    pub fn probabilities(&self, u: &UtilityVector, eps: f64, sensitivity: f64) -> (Vec<f64>, f64) {
         assert!(eps >= 0.0, "privacy parameter must be non-negative");
         assert!(sensitivity > 0.0, "sensitivity must be positive");
         assert!(!u.is_empty(), "no candidates");
@@ -110,8 +105,7 @@ impl Mechanism for ExponentialMechanism {
     ) -> f64 {
         assert!(!u.is_all_zero(), "accuracy undefined for all-zero utility vectors");
         let (probs, _) = self.probabilities(u, eps, sensitivity);
-        let expected: f64 =
-            u.nonzero().iter().zip(&probs).map(|(&(_, ui), &p)| ui * p).sum();
+        let expected: f64 = u.nonzero().iter().zip(&probs).map(|(&(_, ui), &p)| ui * p).sum();
         expected / u.u_max()
     }
 }

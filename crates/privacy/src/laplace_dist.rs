@@ -176,8 +176,7 @@ mod tests {
     fn max_of_huge_n_is_finite_and_growing() {
         let d = Laplace::new(1.0);
         let mut r = rng(9);
-        let m_small: f64 =
-            (0..2000).map(|_| d.sample_max_of(100, &mut r)).sum::<f64>() / 2000.0;
+        let m_small: f64 = (0..2000).map(|_| d.sample_max_of(100, &mut r)).sum::<f64>() / 2000.0;
         let m_large: f64 =
             (0..2000).map(|_| d.sample_max_of(1_000_000, &mut r)).sum::<f64>() / 2000.0;
         assert!(m_large.is_finite());
@@ -185,10 +184,7 @@ mod tests {
         // E[max of n] ≈ b·(ln(n/2) + γ) with γ the Euler–Mascheroni constant.
         assert!(m_large > m_small + 5.0, "small {m_small} large {m_large}");
         let gamma = 0.577_215_664_901_532_9;
-        assert!(
-            (m_large - ((1_000_000f64 / 2.0).ln() + gamma)).abs() < 0.2,
-            "large {m_large}"
-        );
+        assert!((m_large - ((1_000_000f64 / 2.0).ln() + gamma)).abs() < 0.2, "large {m_large}");
     }
 
     #[test]

@@ -195,10 +195,7 @@ mod tests {
         let mut r = rng(16);
         let zero_wins = (0..200)
             .filter(|_| {
-                matches!(
-                    mech.recommend(&u, 0.1, 1.0, &mut r),
-                    Recommendation::ZeroUtilityClass
-                )
+                matches!(mech.recommend(&u, 0.1, 1.0, &mut r), Recommendation::ZeroUtilityClass)
             })
             .count();
         // With ε = 0.1 and 10⁵ zero candidates the max zero noise is ~b·ln(n/2)

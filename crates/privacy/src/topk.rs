@@ -139,10 +139,7 @@ mod tests {
 
     #[test]
     fn accuracy_degrades_with_k() {
-        let u = UtilityVector::from_sparse(
-            (0..6).map(|i| (i, (6 - i) as f64)).collect(),
-            200,
-        );
+        let u = UtilityVector::from_sparse((0..6).map(|i| (i, (6 - i) as f64)).collect(), 200);
         let a1 = topk_expected_accuracy(&u, 1, 2.0, 1.0, 800, &mut rng(2));
         let a4 = topk_expected_accuracy(&u, 4, 2.0, 1.0, 800, &mut rng(2));
         // Splitting the budget four ways must hurt per-slot quality.

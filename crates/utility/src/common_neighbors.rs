@@ -18,12 +18,7 @@ impl UtilityFunction for CommonNeighbors {
         "common-neighbors".to_owned()
     }
 
-    fn utilities(
-        &self,
-        graph: &Graph,
-        target: NodeId,
-        candidates: &CandidateSet,
-    ) -> UtilityVector {
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
         let raw = common_neighbor_counts(graph, target);
         let sparse: Vec<(NodeId, f64)> = raw
             .into_iter()

@@ -24,12 +24,7 @@ impl UtilityFunction for AdamicAdar {
         "adamic-adar".to_owned()
     }
 
-    fn utilities(
-        &self,
-        graph: &Graph,
-        target: NodeId,
-        candidates: &CandidateSet,
-    ) -> UtilityVector {
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
         let mut acc: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
         for &z in graph.neighbors(target) {
             let dz = graph.degree(z);
@@ -70,12 +65,7 @@ impl UtilityFunction for Jaccard {
         "jaccard".to_owned()
     }
 
-    fn utilities(
-        &self,
-        graph: &Graph,
-        target: NodeId,
-        candidates: &CandidateSet,
-    ) -> UtilityVector {
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
         let d_r = graph.degree(target);
         let sparse: Vec<(NodeId, f64)> = common_neighbor_counts(graph, target)
             .into_iter()
@@ -109,12 +99,7 @@ impl UtilityFunction for PreferentialAttachment {
         "preferential-attachment".to_owned()
     }
 
-    fn utilities(
-        &self,
-        graph: &Graph,
-        target: NodeId,
-        candidates: &CandidateSet,
-    ) -> UtilityVector {
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
         let d_r = graph.degree(target) as f64;
         // d_r = 0 zeroes every product; keep such entries out of the sparse
         // part so the vector still covers all candidates.
@@ -205,8 +190,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names =
-            [AdamicAdar.name(), Jaccard.name(), PreferentialAttachment.name()];
+        let names = [AdamicAdar.name(), Jaccard.name(), PreferentialAttachment.name()];
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }

@@ -35,12 +35,7 @@ impl UtilityFunction for PersonalizedPageRank {
         format!("personalized-pagerank(alpha={})", self.alpha)
     }
 
-    fn utilities(
-        &self,
-        graph: &Graph,
-        target: NodeId,
-        candidates: &CandidateSet,
-    ) -> UtilityVector {
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
         assert!((0.0..1.0).contains(&self.alpha), "alpha must be in [0, 1)");
         let n = graph.num_nodes();
         let mut rank = vec![0.0f64; n];
@@ -97,7 +92,10 @@ mod tests {
     use psr_graph::{Direction, GraphBuilder};
 
     fn line() -> Graph {
-        GraphBuilder::new(Direction::Undirected).add_edges([(0, 1), (1, 2), (2, 3)]).build().unwrap()
+        GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -123,10 +121,8 @@ mod tests {
 
     #[test]
     fn unreachable_candidates_score_zero() {
-        let g = GraphBuilder::new(Direction::Undirected)
-            .add_edges([(0, 1), (2, 3)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::new(Direction::Undirected).add_edges([(0, 1), (2, 3)]).build().unwrap();
         let u = PersonalizedPageRank::default().utilities_for(&g, 0);
         assert_eq!(u.get(2), 0.0);
         assert_eq!(u.get(3), 0.0);

@@ -19,8 +19,7 @@ pub trait UtilityFunction: Send + Sync {
     fn name(&self) -> String;
 
     /// Computes the utility vector for `target` over `candidates`.
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet)
-        -> UtilityVector;
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector;
 
     /// Global sensitivity `Δf` (footnote 5) under the relaxed neighbourhood
     /// of §5/§7: graphs differing in one edge *not incident to the target*.

@@ -42,12 +42,7 @@ impl UtilityFunction for WeightedPaths {
         format!("weighted-paths(gamma={}, len<={})", self.gamma, self.max_len)
     }
 
-    fn utilities(
-        &self,
-        graph: &Graph,
-        target: NodeId,
-        candidates: &CandidateSet,
-    ) -> UtilityVector {
+    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
         assert!(self.max_len >= 2, "weighted paths start at length 2");
         let mut counter = WalkCounter::new(graph.num_nodes());
         let walks = counter.count_from(graph, target, self.max_len);

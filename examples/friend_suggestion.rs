@@ -34,14 +34,17 @@ fn main() {
 
     let config = ExperimentConfig { epsilon, eval_laplace: false, ..Default::default() };
     println!("expected suggestion accuracy at ε = {epsilon}:");
-    println!("{:>22} {:>10} {:>12} {:>12} {:>12}", "member", "degree", "common-nbrs", "adamic-adar", "jaccard");
+    println!(
+        "{:>22} {:>10} {:>12} {:>12} {:>12}",
+        "member", "degree", "common-nbrs", "adamic-adar", "jaccard"
+    );
     for (label, member) in picks {
-        let mut row = format!("{:>22} {:>10}", format!("{label} (#{member})"), graph.degree(member));
+        let mut row =
+            format!("{:>22} {:>10}", format!("{label} (#{member})"), graph.degree(member));
         for utility in &utilities {
             let sens = utility.sensitivity(&graph).unwrap().value(SensitivityNorm::L1);
             let mut rng = rand::rngs::StdRng::seed_from_u64(7 + member as u64);
-            let eval =
-                evaluate_target(&graph, utility.as_ref(), &config, sens, member, &mut rng);
+            let eval = evaluate_target(&graph, utility.as_ref(), &config, sens, member, &mut rng);
             match eval {
                 Some(e) => row.push_str(&format!(" {:>12.4}", e.accuracy_exponential)),
                 None => row.push_str(&format!(" {:>12}", "n/a")),

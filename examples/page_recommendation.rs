@@ -46,7 +46,8 @@ fn main() {
         for eps in [1.0, 3.0] {
             let wp = WeightedPaths::paper(gamma);
             let sens = wp.sensitivity(&graph).unwrap().value(SensitivityNorm::L1);
-            let config = ExperimentConfig { epsilon: eps, eval_laplace: false, ..Default::default() };
+            let config =
+                ExperimentConfig { epsilon: eps, eval_laplace: false, ..Default::default() };
             let accs: Vec<f64> = targets
                 .iter()
                 .filter_map(|&t| {

@@ -1,0 +1,25 @@
+//! Workspace façade for the reproduction of **"Personalized Social
+//! Recommendations — Accurate or Private?"** (Machanavajjhala, Korolova,
+//! Das Sarma; PVLDB 4(7), 2011).
+//!
+//! This root package exists to own the cross-crate integration suites in
+//! `tests/` and the runnable `examples/`; the implementation lives in the
+//! `psr-*` crates, re-exported here for one-import convenience:
+//!
+//! | Crate | Layer |
+//! |---|---|
+//! | [`graph`] | CSR graph substrate, algorithms, IO |
+//! | [`gen`] | random graph generators (ER, BA, WS, configuration) |
+//! | [`datasets`] | paper-scale presets (Wikipedia vote, Twitter) and toys |
+//! | [`utility`] | §4 utility functions and sensitivity bounds |
+//! | [`privacy`] | §5 mechanisms (Laplace, Exponential, smoothing) + audits |
+//! | [`bounds`] | §6 lower-bound theorems |
+//! | [`core`] | §7 experiment pipeline, figures, serving API |
+
+pub use psr_bounds as bounds;
+pub use psr_core as core;
+pub use psr_datasets as datasets;
+pub use psr_gen as gen;
+pub use psr_graph as graph;
+pub use psr_privacy as privacy;
+pub use psr_utility as utility;

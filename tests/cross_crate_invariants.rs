@@ -74,11 +74,7 @@ fn pipeline_level_dp_audit() {
             m.toggle_edge(a, b).unwrap();
             let flipped = dist(&m.freeze());
             let audit = audit_exact(&base, &flipped, eps, 1e-9);
-            assert!(
-                audit.holds,
-                "toggle ({a},{b}): log-ratio {} > ε {eps}",
-                audit.max_log_ratio
-            );
+            assert!(audit.holds, "toggle ({a},{b}): log-ratio {} > ε {eps}", audit.max_log_ratio);
         }
     }
 }
@@ -89,8 +85,17 @@ fn pipeline_level_dp_audit() {
 fn accuracy_is_isomorphism_invariant() {
     let g = karate_club();
     // Swap labels of nodes 5 and 20 (neither is the target 0).
-    let perm: Vec<u32> =
-        (0..34u32).map(|v| if v == 5 { 20 } else if v == 20 { 5 } else { v }).collect();
+    let perm: Vec<u32> = (0..34u32)
+        .map(|v| {
+            if v == 5 {
+                20
+            } else if v == 20 {
+                5
+            } else {
+                v
+            }
+        })
+        .collect();
     let edges: Vec<(u32, u32)> =
         g.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect();
     let h = psr_graph::undirected_from_edges(edges).unwrap();

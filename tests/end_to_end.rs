@@ -119,3 +119,50 @@ fn experiment_results_serialise_to_json() {
     assert_eq!(back, result);
     assert!(json.contains("accuracy_exponential"));
 }
+
+// ---------------------------------------------------------------------------
+// Slow tier: scaled-preset runs, excluded from `cargo test -q`.
+// Run with `cargo test --release -- --ignored` (see tests/README.md).
+// ---------------------------------------------------------------------------
+
+/// Figure 1(a) at the paper's full Wikipedia-vote scale (7,115 nodes, 10%
+/// targets): the starvation cliff the paper reports must appear — at ε = 1
+/// a majority of targets still sit below 0.5 accuracy.
+#[test]
+#[ignore = "slow: full-scale wiki preset (~minutes); run with -- --ignored"]
+fn full_scale_wiki_fig1a_shows_starvation() {
+    let fig = fig1a(&FigureConfig { scale: 1.0, seed: 42, ..Default::default() });
+    let eps1 = fig.series.iter().find(|s| s.label == "Exponential ε=1").expect("ε=1 series exists");
+    let frac_below_half = eps1.points.iter().find(|p| (p.0 - 0.5).abs() < 1e-9).unwrap().1;
+    assert!(
+        frac_below_half > 0.5,
+        "full-scale wiki: {frac_below_half} of targets below 0.5 accuracy at ε=1"
+    );
+}
+
+/// The full experiment protocol with Laplace Monte-Carlo enabled at a
+/// moderate Twitter scale: both mechanisms agree in the mean (§7.2
+/// takeaway (ii)) outside toy sizes.
+#[test]
+#[ignore = "slow: Laplace Monte-Carlo at 30% twitter scale; run with -- --ignored"]
+fn scaled_twitter_laplace_agrees_with_exponential() {
+    let (graph, _) = twitter_like(PresetConfig::scaled(0.3, 42)).unwrap();
+    let result = psr_core::run_experiment(
+        &graph,
+        &CommonNeighbors,
+        &psr_core::ExperimentConfig {
+            target_fraction: 0.01,
+            laplace_trials: 1000,
+            ..Default::default()
+        },
+    );
+    assert!(result.evaluations.len() > 100);
+    let exp = psr_core::AccuracyCdf::new(result.exponential_accuracies());
+    let lap = psr_core::AccuracyCdf::new(result.laplace_accuracies());
+    assert!(
+        (exp.mean() - lap.mean()).abs() < 0.02,
+        "exp mean {} vs lap mean {}",
+        exp.mean(),
+        lap.mean()
+    );
+}

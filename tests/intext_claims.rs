@@ -156,12 +156,15 @@ fn least_connected_nodes_are_most_starved() {
 #[test]
 fn all_zero_targets_are_dropped() {
     let (graph, _) = twitter_like(PresetConfig::scaled(0.02, 59)).unwrap();
+    // ~2.3% of this graph's nodes are all-zero sinks; sample a quarter of the
+    // nodes so the expected number of dropped targets (~11) is far enough
+    // from zero that the assertion holds for any seed stream.
     let result = run_experiment(
         &graph,
         &CommonNeighbors,
         &ExperimentConfig {
             epsilon: 1.0,
-            target_fraction: 0.05,
+            target_fraction: 0.25,
             eval_laplace: false,
             ..Default::default()
         },

@@ -1,0 +1,200 @@
+//! Vendored stand-in for [`bytes`](https://crates.io/crates/bytes) (the
+//! build environment has no network access).
+//!
+//! Implements the subset the graph snapshot format uses: [`BytesMut`] as an
+//! append-only builder with little-endian `put_*` methods, frozen into a
+//! cheaply-cloneable [`Bytes`] cursor with `get_*` readers. Unlike upstream
+//! there is no zero-copy view sharing — `slice` copies — which is fine for
+//! the snapshot sizes involved.
+
+use std::sync::Arc;
+
+/// Read side: a cursor over immutable bytes.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads exactly `dest.len()` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dest.len()` bytes remain.
+    fn copy_to_slice(&mut self, dest: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, value: u16) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+}
+
+/// Immutable, cheaply-cloneable byte buffer with a read cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// Cursor: index of the next unread byte.
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the given sub-range (relative to the unread region) into a new
+    /// buffer.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from(self.as_ref()[range].to_vec())
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: data.into(), pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        assert!(dest.len() <= self.remaining(), "copy_to_slice past end of Bytes");
+        dest.copy_from_slice(&self.data[self.pos..self.pos + dest.len()]);
+        self.pos += dest.len();
+    }
+}
+
+/// Growable byte buffer, frozen into [`Bytes`] when building is done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_little_endian_fields() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"PSRG");
+        buf.put_u16_le(1);
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 3);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 4 + 2 + 1 + 4 + 8);
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"PSRG");
+        assert_eq!(bytes.get_u16_le(), 1);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), u64::MAX - 3);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn slice_is_relative_to_unread_region() {
+        let mut bytes = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(bytes.get_u8(), 0);
+        let rest = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(rest.to_vec(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Vendored placeholder for [`clap`](https://crates.io/crates/clap).
+//!
+//! The build environment has no network access, so real clap cannot be
+//! fetched. The `psr` CLI deliberately parses its arguments by hand (see
+//! `crates/cli/src/args.rs`); this stub only keeps the workspace dependency
+//! set aligned with the planned manifest and offers a tiny flag-splitting
+//! helper for future tools.
+
+/// A parsed flag/value view over raw arguments: `--name value` pairs plus
+/// bare `--switch`es and positional arguments, in order of appearance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawArgs {
+    /// `--flag value` pairs (flag names keep their leading dashes).
+    pub options: Vec<(String, String)>,
+    /// Flags that appeared without a following value.
+    pub switches: Vec<String>,
+    /// Non-flag arguments.
+    pub positional: Vec<String>,
+}
+
+impl RawArgs {
+    /// Splits raw arguments into flags, switches, and positionals. A token
+    /// starting with `--` consumes the next token as its value unless that
+    /// token is itself a flag.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut parsed = RawArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if token.starts_with("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        parsed.options.push((token, value));
+                    }
+                    _ => parsed.switches.push(token),
+                }
+            } else {
+                parsed.positional.push(token);
+            }
+        }
+        parsed
+    }
+
+    /// Returns the last value given for `flag` (with or without dashes).
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let want = flag.trim_start_matches('-');
+        self.options
+            .iter()
+            .rev()
+            .find(|(name, _)| name.trim_start_matches('-') == want)
+            .map(|(_, value)| value.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RawArgs;
+
+    #[test]
+    fn splits_flags_switches_and_positionals() {
+        let args = ["run", "--scale", "0.5", "--fast", "--seed", "7", "extra"].map(String::from);
+        let parsed = RawArgs::parse(args);
+        assert_eq!(parsed.positional, vec!["run", "extra"]);
+        assert_eq!(parsed.switches, vec!["--fast"]);
+        assert_eq!(parsed.value_of("scale"), Some("0.5"));
+        assert_eq!(parsed.value_of("--seed"), Some("7"));
+        assert_eq!(parsed.value_of("missing"), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Vendored stand-in for [`criterion`](https://bheisler.github.io/criterion.rs)
+//! (the build environment has no network access).
+//!
+//! Exposes the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], `criterion_group!`, `criterion_main!` — backed by a simple
+//! wall-clock sampler: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples, and the median/min/max per-iteration times are
+//! printed. No statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` should weigh setup cost; accepted for API
+/// compatibility, the sampler treats every variant the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { _criterion: self, name, sample_size }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), sample_size, routine);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(id: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size.max(1));
+    // One warm-up sample, discarded.
+    let mut bencher = Bencher { per_iter_nanos: 0.0 };
+    routine(&mut bencher);
+    for _ in 0..sample_size.max(1) {
+        let mut bencher = Bencher { per_iter_nanos: 0.0 };
+        routine(&mut bencher);
+        samples.push(bencher.per_iter_nanos);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!(
+        "  {id}: median {} (min {}, max {}, {} samples)",
+        format_nanos(median),
+        format_nanos(samples[0]),
+        format_nanos(*samples.last().unwrap()),
+        samples.len()
+    );
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.1} ns")
+    }
+}
+
+/// Target duration of one timed sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter_nanos: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, scaling the iteration count to the
+    /// sample budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in the budget?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter_nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.per_iter_nanos = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

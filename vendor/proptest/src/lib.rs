@@ -1,0 +1,150 @@
+//! Vendored stand-in for [`proptest`](https://proptest-rs.github.io/proptest)
+//! (the build environment has no network access).
+//!
+//! Implements the subset the workspace's property suites use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_shuffle`, range and tuple strategies, [`collection::vec`],
+//! [`strategy::Just`], `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! and [`test_runner::ProptestConfig`] / [`test_runner::TestRunner`].
+//!
+//! Differences from upstream, chosen deliberately for CI determinism:
+//!
+//! * Case generation is **fully deterministic**: every test function runs the
+//!   same fixed-seed sequence on every machine. There is no persistence, so no
+//!   `proptest-regressions/` files are ever written.
+//! * There is **no shrinking** — a failing case reports the raw input.
+//! * `PROPTEST_CASES` (environment) overrides the configured case count, so
+//!   CI can bound suite runtime without touching test code.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of upstream's `prop::` paths (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Inside a `#[cfg(test)]` module each function carries `#[test]` as usual;
+/// without it the macro just declares a plain function running the property,
+/// as here:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run(&($($strategy,)+), |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fails the current case (with an optional formatted message) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discards the current case (generating a replacement) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,193 @@
+//! Deterministic case runner.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`TestRunner`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+/// Default case count when a suite does not configure one.
+pub const DEFAULT_CASES: u32 = 256;
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases (unless overridden by the
+    /// `PROPTEST_CASES` environment variable — CI uses this to bound suite
+    /// runtime without editing test code).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases: env_cases().unwrap_or(cases) }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(DEFAULT_CASES)
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion: the property does not hold.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`; another will be generated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => write!(f, "test case failed: {message}"),
+            TestCaseError::Reject(reason) => write!(f, "test case rejected: {reason}"),
+        }
+    }
+}
+
+/// Runs a property over a deterministic stream of generated cases.
+///
+/// The RNG seed is a fixed constant, so a given binary fails (or passes)
+/// identically on every machine and every run; there is no regression
+/// persistence and no shrinking.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+/// Fixed master seed for case generation ("PROPTEST" in hex-speak).
+const MASTER_SEED: u64 = 0x5052_4F50_5445_5354;
+
+/// Rejection budget per successful case, mirroring upstream's default
+/// `max_global_rejects` ratio.
+const REJECTS_PER_CASE: u64 = 256;
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `cases` generated inputs, panicking on the first
+    /// failure with the offending input.
+    ///
+    /// # Panics
+    /// Panics if any case fails, or if `prop_assume!` rejects more than
+    /// `256 × cases` candidates.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let cases = u64::from(self.config.cases);
+        let mut rng = StdRng::seed_from_u64(MASTER_SEED);
+        let mut passed: u64 = 0;
+        let mut rejected: u64 = 0;
+        while passed < cases {
+            let value = strategy.new_value(&mut rng);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > REJECTS_PER_CASE * cases {
+                        panic!(
+                            "proptest: too many rejected cases \
+                             ({rejected} rejects for {passed}/{cases} passes); \
+                             loosen the prop_assume! preconditions"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest: property failed after {passed} passing case(s)\n\
+                         {message}\n\
+                         input: {shown}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_ranges_respect_bounds(x in 3u32..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0u32..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn shuffle_preserves_elements(
+            v in Just((0u32..20).collect::<Vec<u32>>()).prop_shuffle(),
+        ) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u32..20).collect::<Vec<u32>>());
+        }
+
+        #[test]
+        fn assume_discards_instead_of_failing(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_input() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+            runner.run(&(0u32..100,), |(x,)| {
+                prop_assert!(x < 1, "x was {x}");
+                Ok(())
+            });
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("input:"), "panic message names the input: {message}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let mut values = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+            runner.run(&(0u64..1_000_000,), |(x,)| {
+                values.push(x);
+                Ok(())
+            });
+            seen.push(values);
+        }
+        assert_eq!(seen[0], seen[1]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Concrete generators: [`StdRng`] and the lazily-seeded [`ThreadRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Upstream rand 0.8 backs `StdRng` with ChaCha12; the streams differ but the
+/// contract the reproduction relies on — high statistical quality and full
+/// determinism under [`SeedableRng::seed_from_u64`] — is the same.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        if s == [0; 4] {
+            // xoshiro must not start from the all-zero state.
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0xFE9B_5742_B132_F8E1,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+std::thread_local! {
+    static THREAD_RNG: std::cell::RefCell<StdRng> = std::cell::RefCell::new({
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        // Mix in a per-thread address so simultaneous threads diverge.
+        let local = 0u8;
+        StdRng::seed_from_u64(nanos ^ (std::ptr::addr_of!(local) as u64).rotate_left(17))
+    });
+}
+
+/// Handle to a lazily-seeded thread-local [`StdRng`].
+///
+/// Not reproducible across runs — reserved for examples; tests seed their own
+/// [`StdRng`].
+#[derive(Debug, Clone, Default)]
+pub struct ThreadRng(());
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        ThreadRng(())
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u32())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        THREAD_RNG.with(|r| r.borrow_mut().fill_bytes(dest))
+    }
+}

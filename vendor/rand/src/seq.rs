@@ -1,0 +1,137 @@
+//! Sequence helpers: shuffling and random selection from slices/iterators.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns `amount` distinct elements in random order (fewer if the
+    /// slice is shorter), as an iterator over references.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index table.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.into_iter().take(amount).map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+    }
+}
+
+/// Random selection from arbitrary iterators (reservoir sampling).
+pub trait IteratorRandom: Iterator + Sized {
+    /// Returns one uniformly random item, or `None` if the iterator is empty.
+    fn choose<R: RngCore + ?Sized>(mut self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = self.next()?;
+        for (seen, item) in (2usize..).zip(self) {
+            if rng.gen_range(0..seen) == 0 {
+                chosen = item;
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Returns `amount` uniformly random items without replacement (fewer if
+    /// the iterator is shorter). Order is not specified.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        for _ in 0..amount {
+            match self.next() {
+                Some(item) => reservoir.push(item),
+                None => return reservoir,
+            }
+        }
+        for (seen, item) in (amount + 1..).zip(self) {
+            let k = rng.gen_range(0..seen);
+            if k < amount {
+                reservoir[k] = item;
+            }
+        }
+        reservoir
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut r = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..10).collect();
+        let mut picks: Vec<u32> = v.choose_multiple(&mut r, 4).copied().collect();
+        assert_eq!(picks.len(), 4);
+        picks.sort_unstable();
+        picks.dedup();
+        assert_eq!(picks.len(), 4);
+        assert_eq!(v.choose_multiple(&mut r, 99).count(), 10);
+    }
+
+    #[test]
+    fn iterator_choose_multiple_without_replacement() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut picks = (0u32..100).choose_multiple(&mut r, 5);
+        assert_eq!(picks.len(), 5);
+        picks.sort_unstable();
+        picks.dedup();
+        assert_eq!(picks.len(), 5);
+        assert!((0u32..0).choose(&mut r).is_none());
+    }
+}

@@ -1,0 +1,300 @@
+//! Vendored stand-in for [`serde`](https://serde.rs) (the build environment
+//! has no network access).
+//!
+//! Instead of upstream serde's visitor architecture, this crate uses a simple
+//! tree data model: [`Serialize`] renders a type into a [`Value`], and
+//! [`Deserialize`] rebuilds the type from one. `serde_json` (also vendored)
+//! converts between [`Value`] and JSON text. The derive macros are re-exported
+//! from `serde_derive` so `#[derive(Serialize, Deserialize)]` works as usual
+//! for named-field structs and unit-variant enums.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the common tree both JSON text and typed Rust values
+/// convert through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (negative JSON numbers).
+    Int(i64),
+    /// Unsigned integer (non-negative JSON numbers without a fraction).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an [`Value::Object`].
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected an object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Borrows the string content of a [`Value::Str`].
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::new(format!("expected a string, found {}", other.kind()))),
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected a boolean, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected an unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::new(format!("{u} overflows i64")))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    other => {
+                        return Err(Error::new(format!(
+                            "expected an integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(Error::new(format!(
+                        "expected a number, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        T::serialize(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(Deserialize::deserialize).collect(),
+            other => Err(Error::new(format!("expected an array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:literal),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::new(format!(
+                        "expected an array of length {}, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple!(
+    (A: 0) => 1,
+    (A: 0, B: 1) => 2,
+    (A: 0, B: 1, C: 2) => 3,
+    (A: 0, B: 1, C: 2, D: 3) => 4
+);

@@ -1,0 +1,251 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` stand-in.
+//!
+//! Implemented with a hand-rolled token walk (no `syn`/`quote` — the build
+//! has no network). Supports exactly the shapes the workspace uses:
+//!
+//! * structs with named fields (any visibility, any generics-free type),
+//! * enums whose variants are all unit variants (e.g. `Direction`).
+//!
+//! Anything else produces a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (field-by-field to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (field-by-field from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with only unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(shape) => shape,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = match (&shape, mode) {
+        (Shape::Struct { name, fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Struct { name, fields }, Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         value.get_field({f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum { name, variants }, Mode::Deserialize) => {
+            let arms: String =
+                variants.iter().map(|v| format!("{v:?} => Ok({name}::{v}),")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> \
+                         ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match value.as_str()? {{\n\
+                             {arms}\n\
+                             other => Err(::serde::Error::new(format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Parses the derive input into a [`Shape`].
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracket group
+            }
+            Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    // Reject generics: the workspace derives only concrete types.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde derive (vendored) does not support generics on `{name}`"));
+        }
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(_)) => {
+            return Err(format!("serde derive (vendored): `{name}` must use named fields"));
+        }
+        other => return Err(format!("expected a braced body for `{name}`, found {other:?}")),
+    };
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Shape::Enum { name, variants: parse_unit_variants(body)? }),
+        other => Err(format!("cannot derive serde traits for `{other} {name}`")),
+    }
+}
+
+/// Extracts field names from `name: Type, ...` (attributes/visibility allowed).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(word)) => word.to_string(),
+            other => return Err(format!("expected a field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        // Consume the type: everything until a top-level comma. Angle-bracket
+        // depth must be tracked so `Vec<(u32, f64)>`'s comma is not a split.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names, requiring every variant to be a unit variant.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (`#[default]`, doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let variant = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(word)) => word.to_string(),
+            other => return Err(format!("expected a variant name, found {other:?}")),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            other => {
+                return Err(format!(
+                    "serde derive (vendored) supports only unit enum variants; \
+                     `{variant}` is followed by {other:?}"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
