@@ -1,0 +1,116 @@
+//! Serving-path throughput: the batched `RecommendationService` worker
+//! pool against the sequential single-query `Recommender` loop it
+//! replaces, on the Wikipedia-vote-scale preset. The printed comparison
+//! is the headline: answering one batch through the pool must beat
+//! looping `Recommender::recommend` over the same requests.
+
+#![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psr_bench::{wiki_graph, BENCH_SEED};
+use psr_core::serving::{BatchRequest, RecommendationService, ServiceConfig};
+use psr_core::{Recommender, RecommenderConfig};
+use psr_privacy::ExponentialMechanism;
+use psr_utility::CommonNeighbors;
+use rand::SeedableRng;
+
+/// A deterministic request batch: every connected node asks for `k`
+/// recommendations, capped at `max_requests` targets.
+fn batch(graph: &psr_graph::Graph, k: usize, max_requests: usize) -> Vec<BatchRequest> {
+    graph
+        .nodes()
+        .filter(|&v| graph.degree(v) > 0)
+        .take(max_requests)
+        .map(|target| BatchRequest { target, k })
+        .collect()
+}
+
+fn service_over(graph: &Arc<psr_graph::Graph>) -> RecommendationService {
+    RecommendationService::new(
+        Arc::clone(graph),
+        Box::new(CommonNeighbors),
+        // Unbounded budget: throughput measurement, not policy.
+        ServiceConfig { budget_per_target: f64::INFINITY, ..Default::default() },
+    )
+}
+
+fn recommender_over(graph: &Arc<psr_graph::Graph>) -> Recommender {
+    Recommender::new(
+        Arc::clone(graph),
+        Box::new(CommonNeighbors),
+        Box::new(ExponentialMechanism::paper()),
+        RecommenderConfig::default(),
+    )
+}
+
+/// Runs the sequential baseline once: one `recommend` call per slot.
+fn run_sequential(rec: &Recommender, requests: &[BatchRequest]) -> usize {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(BENCH_SEED);
+    let mut answered = 0;
+    for request in requests {
+        for _ in 0..request.k {
+            if rec.recommend(request.target, &mut rng).is_some() {
+                answered += 1;
+            }
+        }
+    }
+    answered
+}
+
+fn serving_throughput(c: &mut Criterion) {
+    let graph = Arc::new(wiki_graph());
+    let service = service_over(&graph);
+    let recommender = recommender_over(&graph);
+
+    for k in [1usize, 5] {
+        let requests = batch(&graph, k, 192);
+
+        // Headline comparison, printed once per k outside the sampler.
+        let start = Instant::now();
+        let served = service.serve_batch(&requests, BENCH_SEED);
+        let batch_time = start.elapsed();
+        let start = Instant::now();
+        let answered = run_sequential(&recommender, &requests);
+        let sequential_time = start.elapsed();
+        assert!(served.iter().all(Result::is_ok));
+        println!(
+            "[serving] k={k}: batch pool {:.1} ms vs sequential loop {:.1} ms \
+             ({:.2}x, {} slots answered)",
+            batch_time.as_secs_f64() * 1e3,
+            sequential_time.as_secs_f64() * 1e3,
+            sequential_time.as_secs_f64() / batch_time.as_secs_f64(),
+            answered,
+        );
+
+        let mut group = c.benchmark_group(format!("serving_k{k}"));
+        group.sample_size(10);
+        group.bench_function("batch_pool", |b| {
+            b.iter(|| service.serve_batch(&requests, BENCH_SEED));
+        });
+        group.bench_function("sequential_recommender", |b| {
+            b.iter(|| run_sequential(&recommender, &requests));
+        });
+        group.finish();
+    }
+}
+
+/// The in-place top-k peel as the service drives it, isolated from pool
+/// overheads: one hot target, growing k.
+fn serving_topk_peel(c: &mut Criterion) {
+    let graph = Arc::new(wiki_graph());
+    let service = service_over(&graph);
+    let target = psr_bench::median_target(&graph);
+    let mut group = c.benchmark_group("serving_topk_peel");
+    for k in [1usize, 8, 32] {
+        group.bench_function(format!("k{k}"), |b| {
+            let requests = [BatchRequest { target, k }];
+            b.iter(|| service.serve_batch(&requests, BENCH_SEED));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serving_throughput, serving_topk_peel);
+criterion_main!(benches);

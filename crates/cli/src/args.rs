@@ -8,6 +8,7 @@ usage:
   psr bounds <example|theorems|planner>
   psr dataset <wiki|twitter> [options]
   psr recommend --target <id> [--target <id> ...] [recommend options]
+  psr serve --requests <path> [serve options]
 
 recommend options:
   --input <path>    SNAP edge list to serve from (default: generated preset)
@@ -17,6 +18,17 @@ recommend options:
   --gamma <f64>     weighted-paths damping (default 0.005)
   --mechanism <m>   exponential|laplace (default exponential)
   --epsilon <f64>   privacy budget (default 1.0)
+
+serve options (batch serving over a worker pool):
+  --requests <path> JSON array of {\"target\": N, \"k\": M} requests (required)
+  --input, --directed, --preset, --scale, --utility, --gamma   as for recommend
+  --epsilon <f64>   privacy cost of one request, split over its k slots
+                    (default 1.0)
+  --budget <f64>    total ε each target may spend before the service
+                    refuses it (default 10.0)
+  --threads <n>     worker threads (default: all cores)
+  --seed <u64>      master seed (default 42)
+  --json <path>     write the JSON outcome report here instead of stdout
 
 options:
   --scale <0..1]   dataset scale relative to the paper (default 1.0)
@@ -58,6 +70,119 @@ pub enum Command {
         /// Serving options.
         opts: RecommendOptions,
     },
+    /// `psr serve …`
+    Serve {
+        /// Batch-serving options.
+        opts: ServeOptions,
+    },
+}
+
+/// Options for the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Path to the JSON request list (array of `{"target": N, "k": M}`).
+    pub requests: String,
+    /// SNAP edge-list path (None = preset).
+    pub input: Option<String>,
+    /// Whether the input file is directed.
+    pub directed: bool,
+    /// Preset name when no input file.
+    pub preset: String,
+    /// Dataset scale for presets.
+    pub scale: f64,
+    /// Utility function name.
+    pub utility: String,
+    /// Weighted-paths damping.
+    pub gamma: f64,
+    /// Privacy cost ε of one request.
+    pub epsilon: f64,
+    /// Total ε each target may spend.
+    pub budget: f64,
+    /// Worker threads (None = all cores).
+    pub threads: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional JSON report path (stdout when absent).
+    pub json: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            requests: String::new(),
+            input: None,
+            directed: false,
+            preset: "wiki".to_owned(),
+            scale: 1.0,
+            utility: "common-neighbors".to_owned(),
+            gamma: 0.005,
+            epsilon: 1.0,
+            budget: 10.0,
+            threads: None,
+            seed: 42,
+            json: None,
+        }
+    }
+}
+
+fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--requests" => opts.requests = value("--requests")?.clone(),
+            "--input" => opts.input = Some(value("--input")?.clone()),
+            "--directed" => opts.directed = true,
+            "--preset" => {
+                opts.preset = value("--preset")?.clone();
+                if !["wiki", "twitter"].contains(&opts.preset.as_str()) {
+                    return Err(format!("unknown preset {:?}", opts.preset));
+                }
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--utility" => {
+                opts.utility = value("--utility")?.clone();
+                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
+                    return Err(format!("unknown utility {:?}", opts.utility));
+                }
+            }
+            "--gamma" => {
+                opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--epsilon" => {
+                opts.epsilon =
+                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
+                if opts.epsilon <= 0.0 {
+                    return Err("--epsilon must be positive".into());
+                }
+            }
+            "--budget" => {
+                opts.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
+                if !(opts.budget > 0.0 && opts.budget.is_finite()) {
+                    return Err("--budget must be positive and finite".into());
+                }
+            }
+            "--threads" => {
+                opts.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--json" => opts.json = Some(value("--json")?.clone()),
+            other => return Err(format!("unknown serve option {other:?}")),
+        }
+    }
+    if opts.requests.is_empty() {
+        return Err("serve: --requests <path> is required".into());
+    }
+    Ok(opts)
 }
 
 /// Options for the `recommend` subcommand.
@@ -208,6 +333,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Bounds { topic })
         }
         "recommend" => Ok(Command::Recommend { opts: parse_recommend(it.as_slice())? }),
+        "serve" => Ok(Command::Serve { opts: parse_serve(it.as_slice())? }),
         "dataset" => {
             let name = it.next().ok_or("dataset: missing name")?.clone();
             if !["wiki", "twitter"].contains(&name.as_str()) {
@@ -319,6 +445,52 @@ mod tests {
         assert!(parse(&argv("recommend --target 1 --mechanism bogus")).is_err());
         assert!(parse(&argv("recommend --target 1 --epsilon -1")).is_err());
         assert!(parse(&argv("recommend --target 1 --utility nope")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse(&argv(
+            "serve --requests reqs.json --preset twitter --epsilon 0.5 --budget 2.5 \
+             --threads 4 --seed 9 --json out.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { opts } => {
+                assert_eq!(opts.requests, "reqs.json");
+                assert_eq!(opts.preset, "twitter");
+                assert_eq!(opts.epsilon, 0.5);
+                assert_eq!(opts.budget, 2.5);
+                assert_eq!(opts.threads, Some(4));
+                assert_eq!(opts.seed, 9);
+                assert_eq!(opts.json.as_deref(), Some("out.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_requires_requests_and_validates() {
+        assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("serve --requests r.json --epsilon 0")).is_err());
+        assert!(parse(&argv("serve --requests r.json --budget -1")).is_err());
+        assert!(parse(&argv("serve --requests r.json --budget inf")).is_err());
+        assert!(parse(&argv("serve --requests r.json --utility nope")).is_err());
+        assert!(parse(&argv("serve --requests r.json --mechanism laplace")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let cmd = parse(&argv("serve --requests r.json")).unwrap();
+        match cmd {
+            Command::Serve { opts } => {
+                assert_eq!(opts.epsilon, 1.0);
+                assert_eq!(opts.budget, 10.0);
+                assert_eq!(opts.preset, "wiki");
+                assert_eq!(opts.threads, None);
+                assert_eq!(opts.json, None);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -5,6 +5,10 @@ mod claims_cmd;
 mod dataset_cmd;
 mod figure_cmd;
 mod recommend_cmd;
+mod serve_cmd;
+
+use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_graph::{Direction, Graph};
 
 use crate::args::Command;
 
@@ -16,5 +20,29 @@ pub fn run(cmd: Command) {
         Command::Bounds { topic } => bounds_cmd::run(&topic),
         Command::Dataset { name, opts } => dataset_cmd::run(&name, &opts),
         Command::Recommend { opts } => recommend_cmd::run(&opts),
+        Command::Serve { opts } => serve_cmd::run(&opts),
+    }
+}
+
+/// Loads the graph a serving command works on: a SNAP edge list when
+/// `input` is given, a generated preset otherwise. Shared by `recommend`
+/// and `serve`.
+pub(crate) fn load_serving_graph(
+    input: Option<&str>,
+    directed: bool,
+    preset: &str,
+    scale: f64,
+    seed: u64,
+) -> Graph {
+    if let Some(path) = input {
+        let direction = if directed { Direction::Directed } else { Direction::Undirected };
+        return psr_datasets::load_snap(std::path::Path::new(path), direction)
+            .unwrap_or_else(|e| panic!("loading {path}: {e}"));
+    }
+    let preset_config = PresetConfig::scaled(scale, seed);
+    match preset {
+        "wiki" => wiki_vote_like(preset_config).expect("generation").0,
+        "twitter" => twitter_like(preset_config).expect("generation").0,
+        other => unreachable!("arg parser admits only known presets, got {other}"),
     }
 }

@@ -3,8 +3,6 @@
 //! and mechanism, emit suggestions for the requested targets.
 
 use psr_core::{Recommender, RecommenderConfig};
-use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
-use psr_graph::{Direction, Graph};
 use psr_privacy::{ExponentialMechanism, LaplaceMechanism, Mechanism};
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use rand::SeedableRng;
@@ -12,7 +10,13 @@ use rand::SeedableRng;
 use crate::args::RecommendOptions;
 
 pub fn run(opts: &RecommendOptions) {
-    let graph = load_graph(opts);
+    let graph = super::load_serving_graph(
+        opts.input.as_deref(),
+        opts.directed,
+        &opts.preset,
+        opts.scale,
+        opts.seed,
+    );
     let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
         "common-neighbors" => Box::new(CommonNeighbors),
         "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
@@ -49,19 +53,5 @@ pub fn run(opts: &RecommendOptions) {
             }
             None => println!("  {target:>8}: no candidates (fully connected target)"),
         }
-    }
-}
-
-fn load_graph(opts: &RecommendOptions) -> Graph {
-    if let Some(path) = &opts.input {
-        let direction = if opts.directed { Direction::Directed } else { Direction::Undirected };
-        return psr_datasets::load_snap(std::path::Path::new(path), direction)
-            .unwrap_or_else(|e| panic!("loading {path}: {e}"));
-    }
-    let preset = PresetConfig::scaled(opts.scale, opts.seed);
-    match opts.preset.as_str() {
-        "wiki" => wiki_vote_like(preset).expect("generation").0,
-        "twitter" => twitter_like(preset).expect("generation").0,
-        other => unreachable!("arg parser admits only known presets, got {other}"),
     }
 }

@@ -1,0 +1,133 @@
+//! `psr serve` — batch recommendation serving: read a JSON request list,
+//! fan it across the `RecommendationService` worker pool under per-target
+//! ε budgets, and emit a JSON outcome report.
+
+use psr_core::serving::{BatchRequest, RecommendationService, ServeError, Served, ServiceConfig};
+use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
+use serde::Serialize;
+
+use crate::args::ServeOptions;
+
+/// One line of the JSON report: a served request or a typed refusal.
+#[derive(Debug, Serialize)]
+struct OutcomeRecord {
+    target: u32,
+    k: usize,
+    status: String,
+    recommendations: Vec<u32>,
+    zero_class_picks: usize,
+    total_utility: f64,
+    epsilon_spent: f64,
+    error: Option<String>,
+}
+
+/// The full report emitted by `psr serve`.
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    utility: String,
+    epsilon_per_request: f64,
+    budget_per_target: f64,
+    sensitivity: f64,
+    served: usize,
+    rejected: usize,
+    outcomes: Vec<OutcomeRecord>,
+}
+
+pub fn run(opts: &ServeOptions) {
+    let raw = std::fs::read_to_string(&opts.requests)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", opts.requests));
+    let requests: Vec<BatchRequest> =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parsing {}: {e}", opts.requests));
+
+    let graph = super::load_serving_graph(
+        opts.input.as_deref(),
+        opts.directed,
+        &opts.preset,
+        opts.scale,
+        opts.seed,
+    );
+    let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
+        "common-neighbors" => Box::new(CommonNeighbors),
+        "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
+        other => unreachable!("arg parser admits only known utilities, got {other}"),
+    };
+    let utility_name = utility.name();
+    let service = RecommendationService::new(
+        graph,
+        utility,
+        ServiceConfig {
+            epsilon_per_request: opts.epsilon,
+            budget_per_target: opts.budget,
+            threads: opts.threads,
+            ..Default::default()
+        },
+    );
+
+    let outcomes = service.serve_batch(&requests, opts.seed);
+    let records: Vec<OutcomeRecord> = requests
+        .iter()
+        .zip(&outcomes)
+        .map(|(request, outcome)| record(request, outcome, opts.epsilon))
+        .collect();
+    let report = ServeReport {
+        utility: utility_name,
+        epsilon_per_request: opts.epsilon,
+        budget_per_target: opts.budget,
+        sensitivity: service.sensitivity(),
+        served: outcomes.iter().filter(|o| o.is_ok()).count(),
+        rejected: outcomes.iter().filter(|o| o.is_err()).count(),
+        outcomes: records,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialisable");
+    match &opts.json {
+        Some(path) => {
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!(
+                "served {} / rejected {} of {} requests -> {path}",
+                report.served,
+                report.rejected,
+                requests.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn record(
+    request: &BatchRequest,
+    outcome: &Result<Served, ServeError>,
+    epsilon: f64,
+) -> OutcomeRecord {
+    match outcome {
+        Ok(served) => OutcomeRecord {
+            target: served.target,
+            k: served.requested_k,
+            status: "served".to_owned(),
+            recommendations: served.recommendations.clone(),
+            zero_class_picks: served.zero_class_picks,
+            total_utility: served.total_utility,
+            epsilon_spent: served.epsilon_spent,
+            error: None,
+        },
+        Err(error) => OutcomeRecord {
+            target: request.target,
+            k: request.k,
+            status: match error {
+                ServeError::BudgetExhausted { .. } => "budget-exhausted",
+                ServeError::UnknownTarget { .. } => "unknown-target",
+                ServeError::InvalidK { .. } => "invalid-k",
+                ServeError::NoCandidates { .. } => "no-candidates",
+            }
+            .to_owned(),
+            recommendations: Vec::new(),
+            zero_class_picks: 0,
+            total_utility: 0.0,
+            epsilon_spent: match error {
+                // NoCandidates is charged at admission; the others are not.
+                ServeError::NoCandidates { .. } => epsilon,
+                _ => 0.0,
+            },
+            error: Some(error.to_string()),
+        },
+    }
+}

@@ -7,7 +7,14 @@
 //! psr bounds <example|theorems|planner>
 //! psr claims [--scale S] [--seed N]
 //! psr dataset <wiki|twitter> [--scale S] [--seed N]
+//! psr recommend --target <id> [--target <id> ...] [--mechanism M] [--epsilon E]
+//! psr serve --requests <reqs.json> [--epsilon E] [--budget B] [--threads N]
+//!           [--json PATH]
 //! ```
+//!
+//! `serve` reads a JSON array of `{"target": N, "k": M}` requests, answers
+//! them in one batch over a shared-graph worker pool with per-target
+//! ε-budget accounting, and emits a JSON report (stdout, or `--json PATH`).
 
 mod args;
 mod commands;

@@ -13,12 +13,38 @@
 //!
 //! * [`Recommender`] — serve a single ε-private recommendation for a
 //!   target node (the paper's deliverable, as an API),
+//! * [`serving`] — the batch deployment of that API: a
+//!   [`RecommendationService`] fans `(target, k)` request batches across
+//!   a worker pool and enforces per-target ε budgets,
 //! * [`experiment`] — the §7 protocol: sample targets, compute per-target
 //!   expected accuracies and theoretical ceilings, in parallel,
 //! * [`figures`] — one harness per figure (1(a)–2(c)) plus the in-text
 //!   comparisons, regenerating the paper's series,
 //! * [`cdf`]/[`report`] — the accuracy-CDF aggregation and text rendering
 //!   used for EXPERIMENTS.md.
+//!
+//! ## Sharing one graph across consumers
+//!
+//! Both [`Recommender`] and [`serving::RecommendationService`] keep their
+//! graph behind an [`std::sync::Arc`], and their constructors accept
+//! either an owned [`psr_graph::Graph`] or an existing `Arc<Graph>`. A
+//! deployment therefore loads the graph once and hands the same handle to
+//! every service, recommender and experiment
+//! (`service.shared_graph()` / `recommender.shared_graph()`), instead of
+//! cloning a multi-million-edge structure per consumer.
+//!
+//! ## Privacy-budget semantics
+//!
+//! Every request served by a [`serving::RecommendationService`] costs its
+//! configured ε (the request's `k` slots are peeled at ε/k each, so basic
+//! composition charges ε per request), and repeated requests about one
+//! target compose additively. The service's
+//! [`serving::BudgetAccountant`] admits requests sequentially in batch
+//! order, *charges at admission time* (a request that later finds no
+//! candidates has still queried the graph — refunds would be unsound),
+//! and rejects anything that would push a target past
+//! `budget_per_target` with a typed
+//! [`serving::ServeError::BudgetExhausted`].
 //!
 //! ## Quickstart
 //!
@@ -48,9 +74,11 @@ pub mod experiment;
 pub mod figures;
 mod pipeline;
 pub mod report;
+pub mod serving;
 
 pub use cdf::AccuracyCdf;
 pub use experiment::{
     evaluate_target, run_experiment, ExperimentConfig, ExperimentResult, TargetEvaluation,
 };
 pub use pipeline::{Recommender, RecommenderConfig};
+pub use serving::{BatchRequest, RecommendationService, ServeError, Served, ServiceConfig};

@@ -1,4 +1,11 @@
 //! The serving-side API: one private recommendation per call.
+//!
+//! The [`Recommender`] holds its graph behind an [`Arc`], so batch-serving
+//! consumers ([`crate::serving::RecommendationService`]) and ad-hoc
+//! single-query consumers can share one in-memory graph instead of cloning
+//! it per consumer.
+
+use std::sync::Arc;
 
 use psr_graph::{Graph, NodeId};
 use psr_privacy::{Mechanism, Recommendation};
@@ -34,26 +41,28 @@ impl Default for RecommenderConfig {
 /// study packaged as a serving API. Holds the graph, a link-analysis
 /// utility function and a DP mechanism.
 pub struct Recommender {
-    graph: Graph,
+    graph: Arc<Graph>,
     utility: Box<dyn UtilityFunction>,
     mechanism: Box<dyn Mechanism>,
     config: RecommenderConfig,
 }
 
 impl Recommender {
-    /// Assembles a recommender.
+    /// Assembles a recommender. Accepts an owned [`Graph`] or an
+    /// [`Arc<Graph>`] already shared with other consumers (e.g. a
+    /// [`crate::serving::RecommendationService`]).
     ///
     /// # Panics
     /// Panics if ε is not positive, or if the utility function reports no
     /// sensitivity and none is overridden.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         utility: Box<dyn UtilityFunction>,
         mechanism: Box<dyn Mechanism>,
         config: RecommenderConfig,
     ) -> Self {
         assert!(config.epsilon > 0.0, "epsilon must be positive");
-        let r = Recommender { graph, utility, mechanism, config };
+        let r = Recommender { graph: graph.into(), utility, mechanism, config };
         let _ = r.sensitivity(); // validate eagerly
         r
     }
@@ -71,6 +80,12 @@ impl Recommender {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// A shared handle to the underlying graph, for wiring additional
+    /// consumers (services, experiments) to the same in-memory instance.
+    pub fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// Draws one ε-private recommendation for `target`. Returns `None`
@@ -197,5 +212,24 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn zero_eps_rejected() {
         let _ = recommender(0.0);
+    }
+
+    #[test]
+    fn recommenders_share_one_graph_instance() {
+        let shared = Arc::new(karate_club());
+        let a = Recommender::new(
+            Arc::clone(&shared),
+            Box::new(CommonNeighbors),
+            Box::new(ExponentialMechanism::paper()),
+            RecommenderConfig::default(),
+        );
+        let b = Recommender::new(
+            a.shared_graph(),
+            Box::new(CommonNeighbors),
+            Box::new(ExponentialMechanism::paper()),
+            RecommenderConfig::default(),
+        );
+        assert!(std::ptr::eq(a.graph(), b.graph()), "both must alias the shared graph");
+        assert!(std::ptr::eq(shared.as_ref(), b.graph()));
     }
 }

@@ -1,0 +1,145 @@
+//! Per-target ε-budget accounting for the serving layer.
+//!
+//! Every answered recommendation request consumes privacy: `k` peeled
+//! draws at ε/k each compose to ε per request (basic composition, as in
+//! `psr_privacy::topk`), and repeated requests about the same target
+//! compose *additively* on top of that. The accountant tracks the
+//! cumulative spend per target and refuses requests that would push it
+//! past the configured budget — the deployment stance of Appendix A's
+//! "multiple recommendations" remark.
+
+use std::collections::HashMap;
+
+use psr_graph::NodeId;
+
+/// Absolute slack when comparing spend against the budget, so a budget
+/// that is an exact multiple of the per-request ε admits the full multiple
+/// despite accumulated floating-point rounding.
+const BUDGET_SLACK: f64 = 1e-9;
+
+/// A rejected charge: serving the request would exceed the target's budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// The target whose budget ran out.
+    pub target: NodeId,
+    /// The ε the request asked to spend.
+    pub requested: f64,
+    /// What was still available (never negative).
+    pub remaining: f64,
+}
+
+/// Tracks cumulative ε spend per target against a fixed per-target budget.
+///
+/// Charges are *admission-time*: a request consumes its ε the moment the
+/// accountant admits it, whether or not the mechanism later produces a
+/// useful answer (declining to answer after looking at the graph still
+/// spends privacy, so refunds would be unsound).
+#[derive(Debug)]
+pub struct BudgetAccountant {
+    budget_per_target: f64,
+    spent: HashMap<NodeId, f64>,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given per-target budget.
+    ///
+    /// # Panics
+    /// Panics unless the budget is positive (`f64::INFINITY` disables
+    /// enforcement).
+    pub fn new(budget_per_target: f64) -> Self {
+        assert!(budget_per_target > 0.0, "budget must be positive, got {budget_per_target}");
+        BudgetAccountant { budget_per_target, spent: HashMap::new() }
+    }
+
+    /// The configured per-target budget.
+    pub fn budget_per_target(&self) -> f64 {
+        self.budget_per_target
+    }
+
+    /// Cumulative ε already spent on `target`.
+    pub fn spent(&self, target: NodeId) -> f64 {
+        self.spent.get(&target).copied().unwrap_or(0.0)
+    }
+
+    /// Budget still available for `target` (never negative).
+    pub fn remaining(&self, target: NodeId) -> f64 {
+        (self.budget_per_target - self.spent(target)).max(0.0)
+    }
+
+    /// Admits and records a charge of `eps` against `target`, or rejects
+    /// it without recording anything.
+    pub fn try_charge(&mut self, target: NodeId, eps: f64) -> Result<(), BudgetExceeded> {
+        assert!(eps > 0.0, "charge must be positive, got {eps}");
+        let spent = self.spent.entry(target).or_insert(0.0);
+        if *spent + eps > self.budget_per_target + BUDGET_SLACK {
+            return Err(BudgetExceeded {
+                target,
+                requested: eps,
+                remaining: (self.budget_per_target - *spent).max(0.0),
+            });
+        }
+        *spent += eps;
+        Ok(())
+    }
+
+    /// Forgets all spend, e.g. after a privacy epoch rollover.
+    pub fn reset(&mut self) {
+        self.spent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_until_exhausted() {
+        let mut acc = BudgetAccountant::new(1.0);
+        assert_eq!(acc.remaining(7), 1.0);
+        for _ in 0..10 {
+            acc.try_charge(7, 0.1).unwrap();
+        }
+        // Ten charges of 0.1 must fill a budget of 1.0 exactly despite
+        // floating-point accumulation (the slack's whole purpose)…
+        let err = acc.try_charge(7, 0.1).unwrap_err();
+        assert_eq!(err.target, 7);
+        assert_eq!(err.requested, 0.1);
+        assert!(err.remaining < 1e-9);
+        // …and other targets are unaffected.
+        acc.try_charge(8, 1.0).unwrap();
+    }
+
+    #[test]
+    fn rejected_charges_record_nothing() {
+        let mut acc = BudgetAccountant::new(0.5);
+        acc.try_charge(1, 0.4).unwrap();
+        assert!(acc.try_charge(1, 0.4).is_err());
+        assert!((acc.spent(1) - 0.4).abs() < 1e-12, "failed charge must not spend");
+        acc.try_charge(1, 0.1).unwrap();
+    }
+
+    #[test]
+    fn infinite_budget_never_rejects() {
+        let mut acc = BudgetAccountant::new(f64::INFINITY);
+        for _ in 0..100 {
+            acc.try_charge(0, 1e6).unwrap();
+        }
+        assert_eq!(acc.remaining(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn reset_restores_full_budget() {
+        let mut acc = BudgetAccountant::new(1.0);
+        acc.try_charge(3, 1.0).unwrap();
+        assert!(acc.try_charge(3, 0.1).is_err());
+        acc.reset();
+        assert_eq!(acc.remaining(3), 1.0);
+        acc.try_charge(3, 1.0).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = BudgetAccountant::new(0.0);
+    }
+}

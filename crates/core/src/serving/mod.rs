@@ -1,0 +1,478 @@
+//! Batch recommendation serving: many `(target, k)` requests against one
+//! shared graph, under per-target privacy budgets.
+//!
+//! The single-query [`crate::Recommender`] answers one ε-private
+//! recommendation per call and recomputes the target's candidate set and
+//! utility vector every time. Real workloads (Appendix A's "multiple
+//! recommendations"; the measurement setting of Laro et al. 2023) look
+//! different: bursts of requests, several slots per target, and a
+//! *cumulative* privacy budget that must eventually say no. The
+//! [`RecommendationService`] packages that deployment shape:
+//!
+//! * **Shared graph** — the service holds its [`Graph`] behind an
+//!   [`Arc`], so any number of services, [`crate::Recommender`]s and
+//!   experiment harnesses serve from one in-memory instance.
+//! * **Worker pool** — a batch is fanned across `threads` workers with
+//!   the same per-request RNG-stream splitting the experiment pipeline
+//!   uses, so results are bit-identical regardless of thread count or
+//!   scheduling.
+//! * **Per-target reuse** — each request computes its
+//!   [`CandidateSet`]/[`psr_utility::UtilityVector`] once and the top-`k`
+//!   peeling engine ([`psr_privacy::topk`]) serves all `k` slots from it,
+//!   charging ε/k per slot (basic composition ⇒ ε per request).
+//! * **Budget accounting** — an admission-time [`BudgetAccountant`]
+//!   refuses requests whose target has exhausted its ε budget, with a
+//!   typed [`ServeError::BudgetExhausted`] instead of a silent answer.
+
+mod budget;
+
+pub use budget::{BudgetAccountant, BudgetExceeded};
+
+use std::sync::{Arc, Mutex};
+
+use psr_gen::seed::{rng_from_seed, split_seed};
+use psr_graph::{Graph, NodeId};
+use psr_privacy::{resolve_zero_class_distinct, topk};
+use psr_utility::{CandidateSet, SensitivityNorm, UtilityFunction};
+use serde::{Deserialize, Serialize};
+
+/// One entry of a serving batch: `k` recommendation slots for `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// The node asking for recommendations.
+    pub target: NodeId,
+    /// How many distinct recommendations to produce.
+    pub k: usize,
+}
+
+/// Configuration of a [`RecommendationService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Privacy cost ε of one request (split ε/k across its `k` slots).
+    pub epsilon_per_request: f64,
+    /// Total ε each target may consume over the service's lifetime
+    /// (`f64::INFINITY` disables enforcement).
+    pub budget_per_target: f64,
+    /// Which norm reading of footnote 5's `Δf` calibrates the mechanism.
+    pub sensitivity_norm: SensitivityNorm,
+    /// Override for `Δf` when the utility reports no analytic bound.
+    pub sensitivity_override: Option<f64>,
+    /// Worker threads; `None` = available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            epsilon_per_request: 1.0,
+            // Ten unit-ε requests per target before refusal: a concrete
+            // stance on the cumulative budget Appendix A leaves open.
+            budget_per_target: 10.0,
+            sensitivity_norm: SensitivityNorm::LInf,
+            sensitivity_override: None,
+            threads: None,
+        }
+    }
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served {
+    /// The target the recommendations are for.
+    pub target: NodeId,
+    /// The `k` that was requested (the answer may be shorter when the
+    /// candidate set is smaller).
+    pub requested_k: usize,
+    /// Distinct recommended nodes, in slot order.
+    pub recommendations: Vec<NodeId>,
+    /// How many slots fell into the zero-utility class (resolved to
+    /// concrete uniform members of the class).
+    pub zero_class_picks: usize,
+    /// Sum of the true utilities of the recommended slots.
+    pub total_utility: f64,
+    /// ε charged against the target's budget for this request.
+    pub epsilon_spent: f64,
+}
+
+/// Why a request of a batch was not served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The target's cumulative ε budget cannot cover this request. The
+    /// request was *not* charged.
+    BudgetExhausted {
+        /// The refused target.
+        target: NodeId,
+        /// ε the request needed.
+        requested: f64,
+        /// ε still available for the target.
+        remaining: f64,
+    },
+    /// The target id is not a node of the served graph (not charged).
+    UnknownTarget {
+        /// The refused target.
+        target: NodeId,
+        /// Number of nodes in the served graph.
+        num_nodes: usize,
+    },
+    /// `k` was zero (not charged).
+    InvalidK {
+        /// The refused target.
+        target: NodeId,
+    },
+    /// The target is connected to every other node, so no candidate
+    /// exists. The request *was* charged: deciding there is nothing to
+    /// recommend still queries the graph.
+    NoCandidates {
+        /// The refused target.
+        target: NodeId,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BudgetExhausted { target, requested, remaining } => write!(
+                f,
+                "target {target}: privacy budget exhausted \
+                 (requested ε = {requested}, remaining ε = {remaining})"
+            ),
+            ServeError::UnknownTarget { target, num_nodes } => {
+                write!(f, "target {target}: not a node of this graph ({num_nodes} nodes)")
+            }
+            ServeError::InvalidK { target } => {
+                write!(f, "target {target}: k must be at least 1")
+            }
+            ServeError::NoCandidates { target } => {
+                write!(f, "target {target}: no candidates (fully connected target)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A batch recommendation server over a shared graph. See the
+/// [module docs](self) for the architecture.
+pub struct RecommendationService {
+    graph: Arc<Graph>,
+    utility: Arc<dyn UtilityFunction>,
+    config: ServiceConfig,
+    sensitivity: f64,
+    accountant: Mutex<BudgetAccountant>,
+}
+
+impl RecommendationService {
+    /// Assembles a service. Accepts an owned [`Graph`] or an
+    /// [`Arc<Graph>`] already shared with other consumers.
+    ///
+    /// # Panics
+    /// Panics if ε or the budget is not positive, or if the utility
+    /// function reports no sensitivity and none is overridden.
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        utility: Box<dyn UtilityFunction>,
+        config: ServiceConfig,
+    ) -> Self {
+        assert!(config.epsilon_per_request > 0.0, "epsilon must be positive");
+        let graph = graph.into();
+        let utility: Arc<dyn UtilityFunction> = Arc::from(utility);
+        let sensitivity = config
+            .sensitivity_override
+            .or_else(|| utility.sensitivity(&graph).map(|s| s.value(config.sensitivity_norm)))
+            .expect("utility reports no sensitivity and no override was given");
+        RecommendationService {
+            graph,
+            utility,
+            config,
+            sensitivity,
+            accountant: Mutex::new(BudgetAccountant::new(config.budget_per_target)),
+        }
+    }
+
+    /// A shared handle to the served graph, for wiring
+    /// [`crate::Recommender`]s or further services to the same instance.
+    pub fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The served graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The calibrated sensitivity `Δf`.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// ε still available for `target`.
+    pub fn remaining_budget(&self, target: NodeId) -> f64 {
+        self.accountant.lock().expect("accountant lock").remaining(target)
+    }
+
+    /// Forgets all budget spend (privacy epoch rollover).
+    pub fn reset_budgets(&self) {
+        self.accountant.lock().expect("accountant lock").reset();
+    }
+
+    /// Serves a whole batch. Outcomes are returned in request order and
+    /// are bit-identical for a given `(requests, seed)` regardless of the
+    /// configured thread count.
+    ///
+    /// Budget admission runs sequentially in request order *before* any
+    /// evaluation (so "which request hit the budget wall" never depends
+    /// on scheduling); admitted requests are then evaluated on the worker
+    /// pool, each with an RNG stream split from `seed` and its request
+    /// index.
+    pub fn serve_batch(
+        &self,
+        requests: &[BatchRequest],
+        seed: u64,
+    ) -> Vec<Result<Served, ServeError>> {
+        // Phase 1 — validation + budget admission, sequential.
+        let mut outcomes: Vec<Option<Result<Served, ServeError>>> = Vec::new();
+        {
+            let mut accountant = self.accountant.lock().expect("accountant lock");
+            for request in requests {
+                let rejection = self.admit(&mut accountant, request);
+                outcomes.push(rejection.map(Err));
+            }
+        }
+
+        // Phase 2 — evaluation of admitted requests on the worker pool.
+        let admitted: Vec<usize> = (0..requests.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let mut served: Vec<Option<Result<Served, ServeError>>> = vec![None; admitted.len()];
+        let threads = self
+            .config
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
+            .max(1);
+        let chunk_size = admitted.len().div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            for (chunk, out) in admitted.chunks(chunk_size).zip(served.chunks_mut(chunk_size)) {
+                scope.spawn(move || {
+                    for (slot, &index) in out.iter_mut().zip(chunk) {
+                        *slot = Some(self.evaluate(&requests[index], index, seed));
+                    }
+                });
+            }
+        });
+
+        for (&index, outcome) in admitted.iter().zip(served) {
+            outcomes[index] = outcome;
+        }
+        outcomes.into_iter().map(|o| o.expect("every request evaluated")).collect()
+    }
+
+    /// Serves a single request (a one-element batch: same budget charge,
+    /// same RNG stream derivation at index 0).
+    pub fn serve_one(&self, target: NodeId, k: usize, seed: u64) -> Result<Served, ServeError> {
+        self.serve_batch(&[BatchRequest { target, k }], seed)
+            .pop()
+            .expect("one request, one outcome")
+    }
+
+    /// Validates a request and charges its budget; `None` means admitted.
+    fn admit(
+        &self,
+        accountant: &mut BudgetAccountant,
+        request: &BatchRequest,
+    ) -> Option<ServeError> {
+        if (request.target as usize) >= self.graph.num_nodes() {
+            return Some(ServeError::UnknownTarget {
+                target: request.target,
+                num_nodes: self.graph.num_nodes(),
+            });
+        }
+        if request.k == 0 {
+            return Some(ServeError::InvalidK { target: request.target });
+        }
+        match accountant.try_charge(request.target, self.config.epsilon_per_request) {
+            Ok(()) => None,
+            Err(BudgetExceeded { target, requested, remaining }) => {
+                Some(ServeError::BudgetExhausted { target, requested, remaining })
+            }
+        }
+    }
+
+    /// Evaluates one admitted request: candidate set and utility vector
+    /// once, then `k` slots peeled from them.
+    fn evaluate(
+        &self,
+        request: &BatchRequest,
+        index: usize,
+        seed: u64,
+    ) -> Result<Served, ServeError> {
+        // Per-request stream keyed by batch index: reordering worker
+        // threads cannot change any request's result, and duplicate
+        // targets within a batch get independent draws.
+        let mut rng = rng_from_seed(split_seed(seed, 0xBA_0000 + index as u64));
+
+        let candidates = CandidateSet::for_target(&self.graph, request.target);
+        if candidates.is_empty() {
+            return Err(ServeError::NoCandidates { target: request.target });
+        }
+        let u = self.utility.utilities(&self.graph, request.target, &candidates);
+        let k = request.k.min(u.len());
+        let top = topk::topk_exponential(
+            &u,
+            k,
+            self.config.epsilon_per_request,
+            self.sensitivity,
+            &mut rng,
+        );
+
+        // Resolve anonymous zero-class slots to distinct concrete nodes.
+        let zero_slots = top.picks.iter().filter(|p| p.is_none()).count();
+        let mut zero_picks =
+            resolve_zero_class_distinct(zero_slots, &u, &candidates, &mut rng).into_iter();
+        let recommendations: Vec<NodeId> = top
+            .picks
+            .iter()
+            .map(|pick| pick.unwrap_or_else(|| zero_picks.next().expect("class large enough")))
+            .collect();
+
+        Ok(Served {
+            target: request.target,
+            requested_k: request.k,
+            recommendations,
+            zero_class_picks: zero_slots,
+            total_utility: top.total_utility,
+            epsilon_spent: self.config.epsilon_per_request,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_datasets::toy::karate_club;
+    use psr_utility::CommonNeighbors;
+
+    fn service(config: ServiceConfig) -> RecommendationService {
+        RecommendationService::new(karate_club(), Box::new(CommonNeighbors), config)
+    }
+
+    fn requests(k: usize) -> Vec<BatchRequest> {
+        (0..34u32).map(|target| BatchRequest { target, k }).collect()
+    }
+
+    #[test]
+    fn batch_serves_valid_distinct_recommendations() {
+        let svc = service(ServiceConfig::default());
+        for outcome in svc.serve_batch(&requests(3), 7) {
+            let served = outcome.unwrap();
+            assert_eq!(served.recommendations.len(), 3);
+            let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
+            assert_eq!(set.len(), 3, "slots must be distinct");
+            for &v in &served.recommendations {
+                assert_ne!(v, served.target);
+                assert!(!svc.graph().has_edge(served.target, v), "recommended an existing edge");
+            }
+            assert_eq!(served.epsilon_spent, 1.0);
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let mut batch = requests(2);
+        batch.extend(requests(1)); // duplicate targets in one batch
+        let one = service(ServiceConfig { threads: Some(1), ..Default::default() });
+        let eight = service(ServiceConfig { threads: Some(8), ..Default::default() });
+        assert_eq!(one.serve_batch(&batch, 99), eight.serve_batch(&batch, 99));
+    }
+
+    #[test]
+    fn budget_refuses_after_exhaustion_with_typed_error() {
+        let svc = service(ServiceConfig {
+            epsilon_per_request: 1.0,
+            budget_per_target: 2.0,
+            ..Default::default()
+        });
+        let batch = vec![BatchRequest { target: 0, k: 1 }; 3];
+        let outcomes = svc.serve_batch(&batch, 1);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_ok());
+        match &outcomes[2] {
+            Err(ServeError::BudgetExhausted { target: 0, requested, remaining }) => {
+                assert_eq!(*requested, 1.0);
+                assert!(*remaining < 1e-9);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(svc.remaining_budget(0), 0.0);
+        assert_eq!(svc.remaining_budget(1), 2.0, "other targets untouched");
+
+        svc.reset_budgets();
+        assert!(svc.serve_one(0, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn unknown_target_and_zero_k_cost_nothing() {
+        let svc = service(ServiceConfig::default());
+        let outcomes = svc.serve_batch(
+            &[BatchRequest { target: 999, k: 1 }, BatchRequest { target: 3, k: 0 }],
+            5,
+        );
+        assert!(matches!(
+            outcomes[0],
+            Err(ServeError::UnknownTarget { target: 999, num_nodes: 34 })
+        ));
+        assert!(matches!(outcomes[1], Err(ServeError::InvalidK { target: 3 })));
+        assert_eq!(svc.remaining_budget(999), 10.0);
+        assert_eq!(svc.remaining_budget(3), 10.0);
+    }
+
+    #[test]
+    fn oversized_k_is_clamped_to_the_candidate_set() {
+        let svc = service(ServiceConfig::default());
+        let served = svc.serve_one(0, 10_000, 3).unwrap();
+        let candidates = CandidateSet::for_target(svc.graph(), 0);
+        assert_eq!(served.requested_k, 10_000);
+        assert_eq!(served.recommendations.len(), candidates.len());
+        let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
+        assert_eq!(set.len(), served.recommendations.len());
+    }
+
+    #[test]
+    fn zero_class_slots_resolve_to_distinct_concrete_nodes() {
+        // Tiny ε ⇒ many slots land in the zero class; all must come back
+        // as distinct real candidates with zero utility.
+        let svc = service(ServiceConfig {
+            epsilon_per_request: 1e-6,
+            budget_per_target: f64::INFINITY,
+            ..Default::default()
+        });
+        let served = svc.serve_one(0, 8, 11).unwrap();
+        assert!(served.zero_class_picks > 0, "tiny ε must hit the zero class");
+        let candidates = CandidateSet::for_target(svc.graph(), 0);
+        let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
+        assert_eq!(set.len(), served.recommendations.len());
+        for &v in &served.recommendations {
+            assert!(candidates.contains(v));
+        }
+    }
+
+    #[test]
+    fn shares_graph_with_recommenders() {
+        let svc = service(ServiceConfig::default());
+        let rec = crate::Recommender::new(
+            svc.shared_graph(),
+            Box::new(CommonNeighbors),
+            Box::new(psr_privacy::ExponentialMechanism::paper()),
+            crate::RecommenderConfig::default(),
+        );
+        assert!(std::ptr::eq(svc.graph(), rec.graph()));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_eps_rejected() {
+        let _ = service(ServiceConfig { epsilon_per_request: 0.0, ..Default::default() });
+    }
+}

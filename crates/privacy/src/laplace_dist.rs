@@ -47,8 +47,23 @@ impl Laplace {
         }
     }
 
+    /// Survival function `1 − F(x)`, exact deep in the upper tail where
+    /// `cdf` saturates at 1: the `x < 0` branch uses `expm1` so no `1 − …`
+    /// cancellation ever happens in floating point.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x >= 0.0 {
+            0.5 * (-x / self.scale).exp()
+        } else {
+            // 1 − ½e^{x/b} = ½(1 − expm1(x/b)) with expm1(x/b) ∈ (−1, 0).
+            0.5 * (1.0 - (x / self.scale).exp_m1())
+        }
+    }
+
     /// Quantile (inverse CDF) at probability `q ∈ (0, 1)`. Numerically
-    /// stable in both tails via `ln1p`/`expm1` formulations.
+    /// stable in both tails via `ln1p`/`expm1` formulations: the lower tail
+    /// works on `2q` directly and the upper tail routes through
+    /// [`Laplace::upper_tail_quantile`] on the exactly-computed survival
+    /// mass `1 − q` (exact for `q ≥ ½` by the Sterbenz lemma).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "q must be a probability, got {q}");
         if q == 0.0 {
@@ -60,7 +75,31 @@ impl Laplace {
         if q < 0.5 {
             self.scale * (2.0 * q).ln()
         } else {
-            -self.scale * (2.0 * (1.0 - q)).ln()
+            self.upper_tail_quantile(1.0 - q)
+        }
+    }
+
+    /// Inverse survival function: the `x` with `1 − F(x) = p`, taking the
+    /// upper-tail mass `p ∈ (0, 1)` directly. Callers that know the tail
+    /// mass (the max-of-N sampler, extreme quantiles beyond `1 − 2⁻⁵³`)
+    /// must use this instead of `quantile(1 − p)`, which quantises `p`
+    /// away; the near-median branch uses `ln_1p` on the exactly-computed
+    /// `1 − 2p`.
+    pub fn upper_tail_quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        if p == 0.0 {
+            return f64::INFINITY;
+        }
+        if p == 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p <= 0.5 {
+            -self.scale * (2.0 * p).ln()
+        } else {
+            // x = b·ln(2(1−p)) = b·ln1p(1 − 2p); 1 − 2p is exact for
+            // p ∈ [½, 1] (2p is an exponent shift, the subtraction is
+            // Sterbenz-exact).
+            self.scale * (1.0 - 2.0 * p).ln_1p()
         }
     }
 
@@ -86,12 +125,7 @@ impl Laplace {
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let log_q = u.ln() / n as f64; // ln Q, Q = U^{1/n}
         let one_minus_q = -log_q.exp_m1(); // 1 − Q, accurate near 0
-        if one_minus_q <= 0.5 {
-            // Upper-tail branch of the quantile, using 1 − Q directly.
-            -self.scale * (2.0 * one_minus_q).ln()
-        } else {
-            self.scale * (2.0 * (1.0 - one_minus_q)).ln()
-        }
+        self.upper_tail_quantile(one_minus_q)
     }
 }
 
@@ -124,6 +158,51 @@ mod tests {
             assert!((d.cdf(x) - q).abs() < 1e-12, "q = {q}");
         }
         assert_eq!(d.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn extreme_quantile_round_trip() {
+        // The max-of-N zero-class sampler lands this deep in the upper
+        // tail for N ≈ 10⁵; measure the round trip in *tail mass*, where
+        // `cdf` would saturate long before the error shows.
+        let d = Laplace::new(2.0);
+        for q in [1.0 - 1e-14, 1.0 - 1e-12, 1e-14, 1e-12] {
+            let x = d.quantile(q);
+            assert!((d.cdf(x) - q).abs() < 1e-15, "q = {q}");
+            let tail = if q > 0.5 { 1.0 - q } else { q };
+            let got = if q > 0.5 { d.sf(x) } else { d.cdf(x) };
+            assert!((got - tail).abs() / tail < 1e-12, "q = {q}: tail {got:e} vs {tail:e}");
+        }
+    }
+
+    #[test]
+    fn upper_tail_quantile_handles_mass_below_quantisation() {
+        // Tail masses representable as doubles but not as `1 − p`: the
+        // plain quantile cannot even be asked for these.
+        let d = Laplace::new(1.5);
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.75, 0.5, 1e-3, 1e-14, 1e-100, 1e-300] {
+            let x = d.upper_tail_quantile(p);
+            assert!(x.is_finite());
+            assert!(x > last, "monotone in shrinking mass");
+            last = x;
+            assert!((d.sf(x) - p).abs() / p < 1e-12, "p = {p:e}: sf {:e}", d.sf(x));
+        }
+        assert_eq!(d.upper_tail_quantile(0.0), f64::INFINITY);
+        assert_eq!(d.upper_tail_quantile(1.0), f64::NEG_INFINITY);
+        // Median consistency with the CDF branch point.
+        assert_eq!(d.upper_tail_quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let d = Laplace::new(1.0);
+        for x in [-30.0, -2.0, -0.5, 0.0, 0.5, 2.0, 30.0] {
+            assert!((d.sf(x) + d.cdf(x) - 1.0).abs() < 1e-15, "x = {x}");
+        }
+        // Deep upper tail: cdf saturates to 1, sf keeps full precision.
+        assert_eq!(d.cdf(600.0), 1.0);
+        assert!(d.sf(600.0) > 0.0);
     }
 
     #[test]

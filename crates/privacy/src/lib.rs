@@ -34,5 +34,7 @@ pub mod topk;
 pub use exponential::{ExponentialMechanism, ExponentialScaling};
 pub use laplace_dist::Laplace;
 pub use laplace_mech::LaplaceMechanism;
-pub use mechanism::{resolve_recommendation, Mechanism, Recommendation};
+pub use mechanism::{
+    resolve_recommendation, resolve_zero_class_distinct, Mechanism, Recommendation,
+};
 pub use smoothing::LinearSmoothing;

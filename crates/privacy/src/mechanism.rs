@@ -77,6 +77,35 @@ pub fn resolve_recommendation(
     }
 }
 
+/// Resolves `count` anonymous zero-utility-class picks (the `None` slots of
+/// a [`crate::topk::TopK`]) to **distinct** concrete node ids, sampled
+/// uniformly without replacement from the zero-utility members of
+/// `candidates` via reservoir sampling. Returns fewer than `count` ids only
+/// when the class itself is smaller — peeling accounting guarantees that
+/// never happens for draws produced against the same vector.
+pub fn resolve_zero_class_distinct(
+    count: usize,
+    u: &UtilityVector,
+    candidates: &psr_utility::CandidateSet,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<NodeId> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<NodeId> = Vec::with_capacity(count.min(u.num_zero()));
+    for (seen, v) in candidates.iter().filter(|&v| u.get(v) == 0.0).enumerate() {
+        if seen < count {
+            reservoir.push(v);
+        } else {
+            let slot = rng.gen_range(0..=seen);
+            if slot < count {
+                reservoir[slot] = v;
+            }
+        }
+    }
+    reservoir
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +132,31 @@ mod tests {
         }
         let v = resolve_recommendation(Recommendation::Node(2), &u, &candidates, &mut rng);
         assert_eq!(v, Some(2));
+    }
+
+    #[test]
+    fn resolve_distinct_zero_class_members() {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2)])
+            .with_num_nodes(10)
+            .build()
+            .unwrap();
+        let candidates = CandidateSet::for_target(&g, 0);
+        let u = psr_utility::CommonNeighbors.utilities(&g, 0, &candidates);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for count in 0..=u.num_zero() {
+            let picks = resolve_zero_class_distinct(count, &u, &candidates, &mut rng);
+            assert_eq!(picks.len(), count);
+            let set: std::collections::HashSet<_> = picks.iter().collect();
+            assert_eq!(set.len(), count, "picks must be distinct");
+            for &v in &picks {
+                assert!(candidates.contains(v));
+                assert_eq!(u.get(v), 0.0);
+            }
+        }
+        // Asking past the class size returns the whole class.
+        let all = resolve_zero_class_distinct(usize::MAX, &u, &candidates, &mut rng);
+        assert_eq!(all.len(), u.num_zero());
     }
 
     #[test]

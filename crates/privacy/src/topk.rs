@@ -7,12 +7,17 @@
 //! composition. The ablation bench measures how fast per-slot accuracy
 //! collapses as `k` grows — the quantitative version of the appendix's
 //! remark.
+//!
+//! The peel happens **in place**: one live list of non-zero entries plus a
+//! zero-class counter, with each round's draw walking the live weights
+//! directly. No per-round clone of the remaining candidates, no per-round
+//! `UtilityVector` reconstruction — this is the engine
+//! `psr_core::serving::RecommendationService` runs for every request of a
+//! batch.
 
 use psr_graph::NodeId;
 use psr_utility::UtilityVector;
-
-use crate::exponential::ExponentialMechanism;
-use crate::mechanism::{Mechanism, Recommendation};
+use rand::Rng;
 
 /// Result of a top-`k` draw.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +29,17 @@ pub struct TopK {
     pub total_utility: f64,
 }
 
-/// Draws `k` distinct recommendations by peeling: each round runs the
-/// Exponential mechanism with budget `ε/k` on the remaining candidates.
+/// Draws `k` distinct recommendations by peeling: each round runs an
+/// Exponential-mechanism draw with budget `ε/k` (paper scaling,
+/// `exp(ε·u/Δf)`) over the still-unrecommended candidates, removing the
+/// winner in place.
+///
+/// Zero-class accounting is guarded on both paths a draw can land in the
+/// zero class: a draw with the class already empty (reachable through
+/// floating-point residue when the live probabilities sum just below 1)
+/// falls back to a uniform live candidate instead of underflowing the
+/// counter, and once the live entries are exhausted the remaining slots
+/// consume the zero class one member per round, never past zero.
 pub fn topk_exponential(
     u: &UtilityVector,
     k: usize,
@@ -35,35 +49,75 @@ pub fn topk_exponential(
 ) -> TopK {
     assert!(k >= 1, "k must be positive");
     assert!(k <= u.len(), "cannot recommend more nodes than candidates");
-    let per_round = eps / k as f64;
-    let mech = ExponentialMechanism::paper();
+    assert!(eps >= 0.0, "privacy parameter must be non-negative");
+    assert!(sensitivity > 0.0, "sensitivity must be positive");
+    let rate = eps / k as f64 / sensitivity; // per-round exponent rate s
 
-    let mut remaining: Vec<(NodeId, f64)> = u.nonzero().to_vec();
+    // Live non-zero entries, peeled in place. `Vec::remove` keeps the
+    // sorted-by-id order the walk visits, matching the one-shot
+    // mechanism's semantics; the walk is already O(live), so the shift
+    // does not change the round's complexity.
+    let mut live: Vec<(NodeId, f64)> = u.nonzero().to_vec();
     let mut zeros = u.num_zero();
     let mut picks = Vec::with_capacity(k);
     let mut total_utility = 0.0;
 
+    fn take(
+        live: &mut Vec<(NodeId, f64)>,
+        picks: &mut Vec<Option<NodeId>>,
+        total: &mut f64,
+        idx: usize,
+    ) {
+        let (node, utility) = live.remove(idx);
+        *total += utility;
+        picks.push(Some(node));
+    }
+
     for _ in 0..k {
-        let current = UtilityVector::from_sparse(remaining.clone(), zeros);
-        if current.is_all_zero() {
-            // Only zero-utility candidates left: uniform choice.
+        if live.is_empty() {
+            // Only the zero class remains. The `k ≤ len` assertion plus
+            // one-candidate-per-round accounting make `zeros ≥ 1` here;
+            // the guard keeps a broken invariant from wrapping the
+            // counter in release builds.
+            if zeros == 0 {
+                break;
+            }
             zeros -= 1;
             picks.push(None);
             continue;
         }
-        match mech.recommend(&current, per_round, sensitivity, rng) {
-            Recommendation::Node(v) => {
-                let idx = remaining
-                    .iter()
-                    .position(|&(node, _)| node == v)
-                    .expect("recommended node must be live");
-                total_utility += remaining[idx].1;
-                remaining.remove(idx);
-                picks.push(Some(v));
+        // Weights shifted by the current max so the largest exponent is 0
+        // and the mass cannot overflow; recomputed per round because the
+        // max shrinks as top entries are peeled off.
+        let u_max = live.iter().map(|&(_, x)| x).fold(0.0, f64::max);
+        let mut mass: f64 = zeros as f64 * (-rate * u_max).exp();
+        for &(_, x) in live.iter() {
+            mass += (rate * (x - u_max)).exp();
+        }
+        let threshold = rng.gen::<f64>() * mass;
+        let mut acc = 0.0;
+        let mut chosen = None;
+        for (i, &(_, x)) in live.iter().enumerate() {
+            acc += (rate * (x - u_max)).exp();
+            if threshold < acc {
+                chosen = Some(i);
+                break;
             }
-            Recommendation::ZeroUtilityClass => {
+        }
+        match chosen {
+            Some(i) => take(&mut live, &mut picks, &mut total_utility, i),
+            None if zeros > 0 => {
+                // The draw landed in the zero class: uniform member.
                 zeros -= 1;
                 picks.push(None);
+            }
+            None => {
+                // Floating-point residue past every live weight with an
+                // empty zero class (at most a few ulps of probability):
+                // charge the draw to a uniform live candidate instead of
+                // underflowing the zero counter.
+                let i = rng.gen_range(0..live.len());
+                take(&mut live, &mut picks, &mut total_utility, i);
             }
         }
     }
@@ -160,5 +214,79 @@ mod tests {
     fn k_larger_than_candidates_rejected() {
         let u = UtilityVector::from_sparse(vec![(0, 1.0)], 1);
         let _ = topk_exponential(&u, 3, 1.0, 1.0, &mut rng(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy parameter must be non-negative")]
+    fn negative_eps_rejected() {
+        let u = UtilityVector::from_sparse(vec![(0, 1.0), (1, 2.0)], 1);
+        let _ = topk_exponential(&u, 2, -1.0, 1.0, &mut rng(4));
+    }
+
+    /// Adversarial RNG: every draw returns the maximum roll (`1 − 2⁻⁵³`),
+    /// pinning each round to the far edge of the probability walk where
+    /// the zero-class residue paths live.
+    struct MaxRollRng;
+
+    impl rand::RngCore for MaxRollRng {
+        fn next_u32(&mut self) -> u32 {
+            u32::MAX
+        }
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            dest.fill(0xFF);
+        }
+    }
+
+    #[test]
+    fn extreme_rolls_never_underflow_the_zero_class() {
+        // Regression: a draw landing past every live weight used to run
+        // `zeros -= 1` unguarded — a debug-mode underflow panic (and a
+        // wrapped counter in release) once the zero class was empty.
+        for num_zero in [0usize, 1, 3] {
+            for eps in [0.0, 1.0, 1000.0] {
+                let entries = vec![(0, 1.0), (1, 1.0), (2, 1.0)];
+                let u = UtilityVector::from_sparse(entries, num_zero);
+                let k = u.len();
+                let out = topk_exponential(&u, k, eps, 1.0, &mut MaxRollRng);
+                assert_eq!(out.picks.len(), k, "num_zero={num_zero} eps={eps}");
+                let nodes: Vec<NodeId> = out.picks.iter().flatten().copied().collect();
+                let set: std::collections::HashSet<_> = nodes.iter().collect();
+                assert_eq!(set.len(), nodes.len(), "duplicate live picks");
+                let nones = out.picks.iter().filter(|p| p.is_none()).count();
+                assert!(nones <= num_zero, "zero class over-consumed: {nones} > {num_zero}");
+                assert_eq!(nodes.len() + nones, k);
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_vector_fills_all_slots() {
+        // Regression for the all-zero branch: the zero counter is driven
+        // exactly to zero — one member per slot, never past the class size.
+        let u = UtilityVector::from_sparse(vec![], 3);
+        let out = topk_exponential(&u, 3, 1.0, 1.0, &mut rng(5));
+        assert_eq!(out.picks, vec![None, None, None]);
+        assert_eq!(out.total_utility, 0.0);
+    }
+
+    #[test]
+    fn zero_class_draws_mid_peel_balance_exactly() {
+        // Peeling the whole candidate set must consume every non-zero entry
+        // once and every zero-class member once, in any interleaving: a
+        // mid-peel zero-class draw decrements the class, never a live entry.
+        let u = UtilityVector::from_sparse(vec![(2, 3.0), (5, 1.0), (9, 2.0)], 4);
+        for seed in 0..50 {
+            let out = topk_exponential(&u, u.len(), 0.4, 1.0, &mut rng(seed));
+            let nodes: Vec<NodeId> = out.picks.iter().flatten().copied().collect();
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![2, 5, 9], "seed {seed}: every live entry peeled once");
+            let nones = out.picks.iter().filter(|p| p.is_none()).count();
+            assert_eq!(nones, 4, "seed {seed}: every zero member consumed once");
+            assert_eq!(out.total_utility, 6.0);
+        }
     }
 }

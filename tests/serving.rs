@@ -1,0 +1,165 @@
+//! Batch-serving integration: the `RecommendationService` worker pool over
+//! real preset graphs — thread-count determinism, directed candidate
+//! policy, budget enforcement, and shared-graph wiring, end to end.
+
+use std::sync::Arc;
+
+use psr_core::serving::{BatchRequest, RecommendationService, ServeError, ServiceConfig};
+use psr_core::{Recommender, RecommenderConfig};
+use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_privacy::ExponentialMechanism;
+use psr_utility::{CandidateSet, CommonNeighbors, WeightedPaths};
+
+fn wiki_service(threads: Option<usize>) -> RecommendationService {
+    let (graph, _) = wiki_vote_like(PresetConfig::scaled(0.05, 2011)).unwrap();
+    RecommendationService::new(
+        graph,
+        Box::new(CommonNeighbors),
+        ServiceConfig { threads, ..Default::default() },
+    )
+}
+
+/// Every connected node asks for `k` recommendations.
+fn batch_for(service: &RecommendationService, k: usize) -> Vec<BatchRequest> {
+    let graph = service.graph();
+    graph
+        .nodes()
+        .filter(|&v| graph.degree(v) > 0)
+        .map(|target| BatchRequest { target, k })
+        .collect()
+}
+
+#[test]
+fn batch_is_deterministic_across_thread_counts() {
+    // The experiment.rs guarantee, mirrored by the serving pool: the same
+    // request batch (duplicates included) produces bit-identical outcomes
+    // whether one worker or eight answer it.
+    let one = wiki_service(Some(1));
+    let eight = wiki_service(Some(8));
+    let mut requests = batch_for(&one, 2);
+    let duplicates: Vec<BatchRequest> = requests.iter().take(10).copied().collect();
+    requests.extend(duplicates);
+
+    let a = one.serve_batch(&requests, 77);
+    let b = eight.serve_batch(&requests, 77);
+    assert_eq!(a, b);
+    // And a fresh service replays identically: no hidden global state.
+    assert_eq!(a, wiki_service(Some(3)).serve_batch(&requests, 77));
+}
+
+#[test]
+fn served_recommendations_are_valid_and_distinct() {
+    let service = wiki_service(None);
+    let requests = batch_for(&service, 3);
+    let outcomes = service.serve_batch(&requests, 5);
+    assert_eq!(outcomes.len(), requests.len());
+    for (request, outcome) in requests.iter().zip(&outcomes) {
+        let served = outcome.as_ref().expect("connected wiki targets must serve");
+        assert!(!served.recommendations.is_empty());
+        let distinct: std::collections::HashSet<_> = served.recommendations.iter().collect();
+        assert_eq!(distinct.len(), served.recommendations.len());
+        for &v in &served.recommendations {
+            assert_ne!(v, request.target);
+            assert!(!service.graph().has_edge(request.target, v));
+        }
+    }
+}
+
+#[test]
+fn directed_graph_candidates_respect_out_edges_only() {
+    // The §7.1 candidate policy on directed graphs, served through the
+    // batch path: out-neighbours are excluded, pure in-neighbours remain
+    // eligible — exactly what `CandidateSet` promises.
+    let (graph, _) = twitter_like(PresetConfig::scaled(0.02, 7)).unwrap();
+    assert!(graph.is_directed());
+    let graph = Arc::new(graph);
+    let service = RecommendationService::new(
+        Arc::clone(&graph),
+        Box::new(WeightedPaths::paper(0.005)),
+        ServiceConfig { budget_per_target: f64::INFINITY, threads: Some(2), ..Default::default() },
+    );
+
+    let targets: Vec<u32> = graph.nodes().filter(|&v| graph.degree(v) > 0).take(40).collect();
+    let requests: Vec<BatchRequest> =
+        targets.iter().map(|&target| BatchRequest { target, k: 4 }).collect();
+    for (request, outcome) in requests.iter().zip(service.serve_batch(&requests, 13)) {
+        let served = match outcome {
+            Ok(served) => served,
+            Err(ServeError::NoCandidates { .. }) => continue,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        };
+        let candidates = CandidateSet::for_target(&graph, request.target);
+        for &v in &served.recommendations {
+            assert!(candidates.contains(v), "{v} not a candidate of {}", request.target);
+            assert!(
+                !graph.neighbors(request.target).contains(&v),
+                "recommended an existing out-neighbour"
+            );
+        }
+    }
+
+    // The policy is asymmetric: somewhere in the batch a recommendation
+    // may point at a node that already follows the target (in-neighbour).
+    // Verify the candidate sets themselves allow it, so the service is
+    // not silently over-excluding.
+    let asymmetric = targets.iter().any(|&t| {
+        let candidates = CandidateSet::for_target(&graph, t);
+        graph
+            .nodes()
+            .any(|v| graph.has_edge(v, t) && !graph.has_edge(t, v) && candidates.contains(v))
+    });
+    assert!(asymmetric, "no target had an eligible in-neighbour — candidate policy broken?");
+}
+
+#[test]
+fn budgets_are_enforced_per_target_across_batches() {
+    let (graph, _) = wiki_vote_like(PresetConfig::scaled(0.05, 2011)).unwrap();
+    let service = RecommendationService::new(
+        graph,
+        Box::new(CommonNeighbors),
+        ServiceConfig {
+            epsilon_per_request: 0.5,
+            budget_per_target: 1.0,
+            threads: Some(2),
+            ..Default::default()
+        },
+    );
+    let target = service.graph().nodes().find(|&v| service.graph().degree(v) > 0).unwrap();
+
+    // Two requests fit the budget exactly; the third must be refused, and
+    // the refusal must survive across separate batches (state, not a
+    // per-batch counter).
+    assert!(service.serve_one(target, 1, 1).is_ok());
+    assert_eq!(service.remaining_budget(target), 0.5);
+    let outcomes =
+        service.serve_batch(&[BatchRequest { target, k: 2 }, BatchRequest { target, k: 1 }], 2);
+    assert!(outcomes[0].is_ok());
+    match &outcomes[1] {
+        Err(ServeError::BudgetExhausted { requested, remaining, .. }) => {
+            assert_eq!(*requested, 0.5);
+            assert!(*remaining < 1e-9);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(service.remaining_budget(target), 0.0);
+}
+
+#[test]
+fn service_and_recommender_share_one_graph() {
+    let service = wiki_service(Some(2));
+    let recommender = Recommender::new(
+        service.shared_graph(),
+        Box::new(CommonNeighbors),
+        Box::new(ExponentialMechanism::paper()),
+        RecommenderConfig::default(),
+    );
+    assert!(std::ptr::eq(service.graph(), recommender.graph()));
+
+    // Both paths serve valid recommendations from the same instance.
+    let target = service.graph().nodes().find(|&v| service.graph().degree(v) > 0).unwrap();
+    let served = service.serve_one(target, 1, 3).unwrap();
+    assert!(!service.graph().has_edge(target, served.recommendations[0]));
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let single = recommender.recommend(target, &mut rng).unwrap();
+    assert!(!recommender.graph().has_edge(target, single));
+}

@@ -7,6 +7,11 @@
 //! wall-clock sampler: each benchmark is warmed up briefly, then timed over
 //! `sample_size` samples, and the median/min/max per-iteration times are
 //! printed. No statistical analysis, plots, or baselines.
+//!
+//! Like upstream criterion, passing `--test` on the bench binary's command
+//! line (`cargo bench --bench <name> -- --test`) switches to test mode:
+//! every routine runs exactly once with a single iteration and no timing —
+//! CI smoke coverage for the benched paths at negligible cost.
 
 use std::time::{Duration, Instant};
 
@@ -31,11 +36,15 @@ pub enum BatchSize {
 #[derive(Debug)]
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: 20,
+            test_mode: std::env::args().skip(1).any(|arg| arg == "--test"),
+        }
     }
 }
 
@@ -45,7 +54,8 @@ impl Criterion {
         let name = name.into();
         println!("\nbench group: {name}");
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { _criterion: self, name, sample_size }
+        let test_mode = self.test_mode;
+        BenchmarkGroup { _criterion: self, name, sample_size, test_mode }
     }
 
     /// Runs a single ungrouped benchmark.
@@ -55,7 +65,7 @@ impl Criterion {
         routine: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let sample_size = self.default_sample_size;
-        run_benchmark(&name.into(), sample_size, routine);
+        run_benchmark(&name.into(), sample_size, self.test_mode, routine);
         self
     }
 }
@@ -66,6 +76,7 @@ pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -82,7 +93,7 @@ impl BenchmarkGroup<'_> {
         routine: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
-        run_benchmark(&id, self.sample_size, routine);
+        run_benchmark(&id, self.sample_size, self.test_mode, routine);
         self
     }
 
@@ -90,13 +101,25 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_benchmark(id: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    if test_mode {
+        // Smoke mode: execute the routine once with a single iteration.
+        let mut bencher = Bencher { per_iter_nanos: 0.0, test_mode: true };
+        routine(&mut bencher);
+        println!("  {id}: ok (test mode, 1 iteration)");
+        return;
+    }
     let mut samples: Vec<f64> = Vec::with_capacity(sample_size.max(1));
     // One warm-up sample, discarded.
-    let mut bencher = Bencher { per_iter_nanos: 0.0 };
+    let mut bencher = Bencher { per_iter_nanos: 0.0, test_mode: false };
     routine(&mut bencher);
     for _ in 0..sample_size.max(1) {
-        let mut bencher = Bencher { per_iter_nanos: 0.0 };
+        let mut bencher = Bencher { per_iter_nanos: 0.0, test_mode: false };
         routine(&mut bencher);
         samples.push(bencher.per_iter_nanos);
     }
@@ -130,6 +153,7 @@ const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
 #[derive(Debug)]
 pub struct Bencher {
     per_iter_nanos: f64,
+    test_mode: bool,
 }
 
 impl Bencher {
@@ -140,6 +164,10 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
+        if self.test_mode {
+            self.per_iter_nanos = once.as_nanos() as f64;
+            return;
+        }
         let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
@@ -159,6 +187,10 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine(input));
         let once = start.elapsed().max(Duration::from_nanos(1));
+        if self.test_mode {
+            self.per_iter_nanos = once.as_nanos() as f64;
+            return;
+        }
         let iters = (SAMPLE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
         let mut total = Duration::ZERO;
         for _ in 0..iters {
