@@ -21,6 +21,10 @@ recommend options:
 
 serve options (batch serving over a worker pool):
   --requests <path> JSON array of {\"target\": N, \"k\": M} requests (required)
+  --mutations <path> JSON array of mutation batches (arrays of
+                    {\"op\": \"Insert\"|\"Delete\", \"u\": N, \"v\": M});
+                    batch i is applied after request chunk i, opening a new
+                    graph epoch for the remaining chunks
   --input, --directed, --preset, --scale, --utility, --gamma   as for recommend
   --epsilon <f64>   privacy cost of one request, split over its k slots
                     (default 1.0)
@@ -82,6 +86,9 @@ pub enum Command {
 pub struct ServeOptions {
     /// Path to the JSON request list (array of `{"target": N, "k": M}`).
     pub requests: String,
+    /// Optional JSON mutation schedule (array of mutation batches)
+    /// interleaved with the request chunks.
+    pub mutations: Option<String>,
     /// SNAP edge-list path (None = preset).
     pub input: Option<String>,
     /// Whether the input file is directed.
@@ -110,6 +117,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             requests: String::new(),
+            mutations: None,
             input: None,
             directed: false,
             preset: "wiki".to_owned(),
@@ -134,6 +142,7 @@ fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
         };
         match flag.as_str() {
             "--requests" => opts.requests = value("--requests")?.clone(),
+            "--mutations" => opts.mutations = Some(value("--mutations")?.clone()),
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
             "--preset" => {
@@ -488,9 +497,22 @@ mod tests {
                 assert_eq!(opts.preset, "wiki");
                 assert_eq!(opts.threads, None);
                 assert_eq!(opts.json, None);
+                assert_eq!(opts.mutations, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn serve_accepts_a_mutation_schedule() {
+        let cmd = parse(&argv("serve --requests r.json --mutations muts.json")).unwrap();
+        match cmd {
+            Command::Serve { opts } => {
+                assert_eq!(opts.mutations.as_deref(), Some("muts.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --requests r.json --mutations")).is_err());
     }
 
     #[test]

@@ -1,8 +1,20 @@
 //! `psr serve` — batch recommendation serving: read a JSON request list,
 //! fan it across the `RecommendationService` worker pool under per-target
 //! ε budgets, and emit a JSON outcome report.
+//!
+//! With `--mutations muts.json` the run becomes *dynamic*: the request
+//! list is split into `batches + 1` contiguous chunks, and after chunk
+//! `i` the i-th mutation batch is applied
+//! ([`RecommendationService::apply_mutations`]), opening a new graph
+//! epoch for the remaining chunks. Budgets persist across epochs (the
+//! paper's per-node guarantee composes over graph versions), and the
+//! report records what each epoch dirtied.
 
-use psr_core::serving::{BatchRequest, RecommendationService, ServeError, Served, ServiceConfig};
+use psr_core::serving::{
+    BatchRequest, Epoch, RecommendationService, ServeError, Served, ServiceConfig,
+};
+use psr_gen::split_seed;
+use psr_graph::EdgeMutation;
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use serde::Serialize;
 
@@ -13,12 +25,24 @@ use crate::args::ServeOptions;
 struct OutcomeRecord {
     target: u32,
     k: usize,
+    epoch: u64,
     status: String,
     recommendations: Vec<u32>,
     zero_class_picks: usize,
     total_utility: f64,
     epsilon_spent: f64,
     error: Option<String>,
+}
+
+/// One applied mutation batch in the report.
+#[derive(Debug, Serialize)]
+struct EpochRecord {
+    version: u64,
+    insertions: usize,
+    deletions: usize,
+    dirty_targets: usize,
+    invalidated: usize,
+    compacted: bool,
 }
 
 /// The full report emitted by `psr serve`.
@@ -30,7 +54,35 @@ struct ServeReport {
     sensitivity: f64,
     served: usize,
     rejected: usize,
+    epochs: Vec<EpochRecord>,
     outcomes: Vec<OutcomeRecord>,
+}
+
+/// Parses a mutation schedule: a JSON array of mutation batches, each an
+/// array of `{"op": "Insert"|"Delete", "u": N, "v": M}` objects.
+fn parse_mutation_schedule(raw: &str) -> Result<Vec<Vec<EdgeMutation>>, String> {
+    let schedule: Vec<Vec<EdgeMutation>> =
+        serde_json::from_str(raw).map_err(|e| format!("mutation schedule: {e}"))?;
+    if schedule.iter().all(Vec::is_empty) && !schedule.is_empty() {
+        return Err("mutation schedule: every batch is empty".into());
+    }
+    Ok(schedule)
+}
+
+/// Splits `requests` into `chunks` contiguous chunks whose sizes differ
+/// by at most one (leading chunks take the remainder).
+fn chunk_requests(requests: &[BatchRequest], chunks: usize) -> Vec<&[BatchRequest]> {
+    let chunks = chunks.max(1);
+    let base = requests.len() / chunks;
+    let remainder = requests.len() % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < remainder);
+        out.push(&requests[start..start + len]);
+        start += len;
+    }
+    out
 }
 
 pub fn run(opts: &ServeOptions) {
@@ -38,6 +90,15 @@ pub fn run(opts: &ServeOptions) {
         .unwrap_or_else(|e| panic!("reading {}: {e}", opts.requests));
     let requests: Vec<BatchRequest> =
         serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parsing {}: {e}", opts.requests));
+
+    let schedule: Vec<Vec<EdgeMutation>> = match &opts.mutations {
+        Some(path) => {
+            let raw =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+            parse_mutation_schedule(&raw).unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+        }
+        None => Vec::new(),
+    };
 
     let graph = super::load_serving_graph(
         opts.input.as_deref(),
@@ -52,7 +113,7 @@ pub fn run(opts: &ServeOptions) {
         other => unreachable!("arg parser admits only known utilities, got {other}"),
     };
     let utility_name = utility.name();
-    let service = RecommendationService::new(
+    let mut service = RecommendationService::new(
         graph,
         utility,
         ServiceConfig {
@@ -63,19 +124,43 @@ pub fn run(opts: &ServeOptions) {
         },
     );
 
-    let outcomes = service.serve_batch(&requests, opts.seed);
-    let records: Vec<OutcomeRecord> = requests
-        .iter()
-        .zip(&outcomes)
-        .map(|(request, outcome)| record(request, outcome, opts.epsilon))
-        .collect();
+    let mut records: Vec<OutcomeRecord> = Vec::with_capacity(requests.len());
+    let mut epochs: Vec<EpochRecord> = Vec::with_capacity(schedule.len());
+    for (round, chunk) in chunk_requests(&requests, schedule.len() + 1).iter().enumerate() {
+        // Round 0 keeps the static-serve seed derivation so mutation-free
+        // runs reproduce exactly what they did before epochs existed.
+        let seed = if round == 0 { opts.seed } else { split_seed(opts.seed, round as u64) };
+        let outcomes = service.serve_batch(chunk, seed);
+        let epoch = service.epoch();
+        records.extend(
+            chunk
+                .iter()
+                .zip(&outcomes)
+                .map(|(request, outcome)| record(request, outcome, epoch, opts.epsilon)),
+        );
+        if let Some(batch) = schedule.get(round) {
+            let applied: Epoch = service
+                .apply_mutations(batch)
+                .unwrap_or_else(|e| panic!("applying mutation batch {round}: {e}"));
+            epochs.push(EpochRecord {
+                version: applied.version,
+                insertions: applied.insertions,
+                deletions: applied.deletions,
+                dirty_targets: applied.dirty_targets.len(),
+                invalidated: applied.invalidated,
+                compacted: applied.compacted,
+            });
+        }
+    }
+
     let report = ServeReport {
         utility: utility_name,
         epsilon_per_request: opts.epsilon,
         budget_per_target: opts.budget,
         sensitivity: service.sensitivity(),
-        served: outcomes.iter().filter(|o| o.is_ok()).count(),
-        rejected: outcomes.iter().filter(|o| o.is_err()).count(),
+        served: records.iter().filter(|r| r.error.is_none()).count(),
+        rejected: records.iter().filter(|r| r.error.is_some()).count(),
+        epochs,
         outcomes: records,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialisable");
@@ -83,10 +168,11 @@ pub fn run(opts: &ServeOptions) {
         Some(path) => {
             std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!(
-                "served {} / rejected {} of {} requests -> {path}",
+                "served {} / rejected {} of {} requests across {} epochs -> {path}",
                 report.served,
                 report.rejected,
-                requests.len()
+                requests.len(),
+                report.epochs.len() + 1,
             );
         }
         None => println!("{json}"),
@@ -96,12 +182,14 @@ pub fn run(opts: &ServeOptions) {
 fn record(
     request: &BatchRequest,
     outcome: &Result<Served, ServeError>,
+    epoch: u64,
     epsilon: f64,
 ) -> OutcomeRecord {
     match outcome {
         Ok(served) => OutcomeRecord {
             target: served.target,
             k: served.requested_k,
+            epoch,
             status: "served".to_owned(),
             recommendations: served.recommendations.clone(),
             zero_class_picks: served.zero_class_picks,
@@ -112,6 +200,7 @@ fn record(
         Err(error) => OutcomeRecord {
             target: request.target,
             k: request.k,
+            epoch,
             status: match error {
                 ServeError::BudgetExhausted { .. } => "budget-exhausted",
                 ServeError::UnknownTarget { .. } => "unknown-target",
@@ -129,5 +218,53 @@ fn record(
             },
             error: Some(error.to_string()),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_parses_batches() {
+        let schedule = parse_mutation_schedule(
+            r#"[[{"op": "Insert", "u": 0, "v": 5}], [{"op": "Delete", "u": 5, "v": 0}, {"op": "Insert", "u": 1, "v": 2}]]"#,
+        )
+        .unwrap();
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule[0], vec![EdgeMutation::insert(0, 5)]);
+        assert_eq!(schedule[1], vec![EdgeMutation::delete(5, 0), EdgeMutation::insert(1, 2)]);
+    }
+
+    #[test]
+    fn schedule_rejects_malformed_input() {
+        // Not JSON at all.
+        assert!(parse_mutation_schedule("nonsense").is_err());
+        // Flat array instead of batches.
+        assert!(parse_mutation_schedule(r#"[{"op": "Insert", "u": 0, "v": 5}]"#).is_err());
+        // Unknown op.
+        assert!(parse_mutation_schedule(r#"[[{"op": "Upsert", "u": 0, "v": 5}]]"#).is_err());
+        // Missing endpoint.
+        assert!(parse_mutation_schedule(r#"[[{"op": "Insert", "u": 0}]]"#).is_err());
+        // All-empty schedule (always a mistake: it would change nothing).
+        assert!(parse_mutation_schedule("[[], []]").is_err());
+        // The error message names the schedule.
+        let err = parse_mutation_schedule("42").unwrap_err();
+        assert!(err.contains("mutation schedule"), "{err}");
+    }
+
+    #[test]
+    fn chunks_cover_requests_in_order() {
+        let requests: Vec<BatchRequest> =
+            (0..10u32).map(|target| BatchRequest { target, k: 1 }).collect();
+        for chunks in [1usize, 2, 3, 4, 11] {
+            let split = chunk_requests(&requests, chunks);
+            assert_eq!(split.len(), chunks);
+            let flat: Vec<BatchRequest> = split.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, requests, "chunking must preserve order ({chunks} chunks)");
+            let sizes: Vec<usize> = split.iter().map(|c| c.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal chunks, got {sizes:?}");
+        }
     }
 }

@@ -15,7 +15,11 @@
 //!   target node (the paper's deliverable, as an API),
 //! * [`serving`] — the batch deployment of that API: a
 //!   [`RecommendationService`] fans `(target, k)` request batches across
-//!   a worker pool and enforces per-target ε budgets,
+//!   a worker pool, enforces per-target ε budgets, and serves a *mutable*
+//!   graph through versioned epochs
+//!   ([`serving::RecommendationService::apply_mutations`]): edge
+//!   mutations land in a `psr_graph::DeltaGraph` overlay, and only dirty
+//!   targets lose their cached candidate/utility state,
 //! * [`experiment`] — the §7 protocol: sample targets, compute per-target
 //!   expected accuracies and theoretical ceilings, in parallel,
 //! * [`figures`] — one harness per figure (1(a)–2(c)) plus the in-text
@@ -44,7 +48,10 @@
 //! candidates has still queried the graph — refunds would be unsound),
 //! and rejects anything that would push a target past
 //! `budget_per_target` with a typed
-//! [`serving::ServeError::BudgetExhausted`].
+//! [`serving::ServeError::BudgetExhausted`]. Budgets persist across graph
+//! epochs: applying mutations moves the served graph to an edge-adjacent
+//! neighbour (Definition 1), not to a fresh database, so spend is never
+//! refunded implicitly (see the [`serving`] module docs).
 //!
 //! ## Quickstart
 //!

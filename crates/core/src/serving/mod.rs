@@ -1,39 +1,64 @@
 //! Batch recommendation serving: many `(target, k)` requests against one
-//! shared graph, under per-target privacy budgets.
+//! shared graph, under per-target privacy budgets, across graph epochs.
 //!
 //! The single-query [`crate::Recommender`] answers one ε-private
 //! recommendation per call and recomputes the target's candidate set and
 //! utility vector every time. Real workloads (Appendix A's "multiple
 //! recommendations"; the measurement setting of Laro et al. 2023) look
-//! different: bursts of requests, several slots per target, and a
-//! *cumulative* privacy budget that must eventually say no. The
-//! [`RecommendationService`] packages that deployment shape:
+//! different: bursts of requests, several slots per target, a *cumulative*
+//! privacy budget that must eventually say no — and a social graph that
+//! keeps mutating underneath. The [`RecommendationService`] packages that
+//! deployment shape:
 //!
-//! * **Shared graph** — the service holds its [`Graph`] behind an
-//!   [`Arc`], so any number of services, [`crate::Recommender`]s and
-//!   experiment harnesses serve from one in-memory instance.
+//! * **Shared graph** — the service reads through a
+//!   [`psr_graph::DeltaGraph`] whose CSR base sits behind an [`Arc`], so
+//!   any number of services, [`crate::Recommender`]s and experiment
+//!   harnesses serve from one in-memory snapshot.
 //! * **Worker pool** — a batch is fanned across `threads` workers with
 //!   the same per-request RNG-stream splitting the experiment pipeline
 //!   uses, so results are bit-identical regardless of thread count or
 //!   scheduling.
-//! * **Per-target reuse** — each request computes its
-//!   [`CandidateSet`]/[`psr_utility::UtilityVector`] once and the top-`k`
-//!   peeling engine ([`psr_privacy::topk`]) serves all `k` slots from it,
-//!   charging ε/k per slot (basic composition ⇒ ε per request).
+//! * **Per-target cache** — each target's [`CandidateSet`] and
+//!   [`psr_utility::UtilityVector`] are computed once per epoch and
+//!   reused by every request (and batch) that asks about it; the top-`k`
+//!   peeling engine ([`psr_privacy::topk`]) serves all `k` slots from the
+//!   cached vector, charging ε/k per slot (basic composition ⇒ ε per
+//!   request).
+//! * **Versioned epochs** — [`RecommendationService::apply_mutations`]
+//!   applies a batch of edge [`EdgeMutation`]s atomically (all-or-nothing)
+//!   to the overlay and bumps the epoch. Only *dirty targets* — nodes
+//!   within the utility's
+//!   [`invalidation radius`](UtilityFunction::invalidation_radius) of a
+//!   mutated endpoint, in the pre- or post-mutation graph — have their
+//!   cached state invalidated; everyone else keeps serving from cache.
+//!   (Directed graphs and unbounded-radius utilities conservatively
+//!   invalidate every target.) The overlay is folded back into a fresh
+//!   CSR base once it covers more than a quarter of the nodes.
 //! * **Budget accounting** — an admission-time [`BudgetAccountant`]
 //!   refuses requests whose target has exhausted its ε budget, with a
 //!   typed [`ServeError::BudgetExhausted`] instead of a silent answer.
+//!
+//! # ε budgets across epochs
+//!
+//! Budgets are **per target, across graph versions**: mutating the graph
+//! neither refunds nor resets anyone's spend. This matches the paper's
+//! per-node guarantee — differential privacy composes over *queries about
+//! a node*, and each applied mutation moves the graph to an edge-adjacent
+//! neighbour in the sense of Definition 1, not to a fresh database. A
+//! deployment that wants periodic budget refresh keeps the explicit
+//! [`RecommendationService::reset_budgets`] epoch-rollover call.
 
 mod budget;
 
 pub use budget::{BudgetAccountant, BudgetExceeded};
 
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use psr_gen::seed::{rng_from_seed, split_seed};
-use psr_graph::{Graph, NodeId};
+use psr_graph::{DeltaGraph, EdgeMutation, Graph, GraphError, GraphView, MutationOp, NodeId};
 use psr_privacy::{resolve_zero_class_distinct, topk};
-use psr_utility::{CandidateSet, SensitivityNorm, UtilityFunction};
+use psr_utility::{CandidateSet, SensitivityNorm, UtilityFunction, UtilityVector};
 use serde::{Deserialize, Serialize};
 
 /// One entry of a serving batch: `k` recommendation slots for `target`.
@@ -151,18 +176,90 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// A batch recommendation server over a shared graph. See the
-/// [module docs](self) for the architecture.
+/// Why a mutation batch was refused. The batch is atomic: on error the
+/// service's graph, epoch, caches and budgets are exactly as before the
+/// call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationError {
+    /// A mutation in the batch could not be applied.
+    Rejected {
+        /// Position of the offending mutation within the batch.
+        index: usize,
+        /// The offending mutation.
+        mutation: EdgeMutation,
+        /// What the graph layer objected to (duplicate insert, missing
+        /// delete, self-loop, unknown endpoint).
+        source: GraphError,
+    },
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::Rejected { index, mutation, source } => {
+                write!(f, "mutation #{index} {mutation} rejected: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Rejected { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Summary of one applied mutation batch: what changed and what it
+/// invalidated. Returned by [`RecommendationService::apply_mutations`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Epoch {
+    /// The graph version after this batch (the service starts at 0 and
+    /// each successful batch increments it).
+    pub version: u64,
+    /// Edge insertions in the batch.
+    pub insertions: usize,
+    /// Edge deletions in the batch.
+    pub deletions: usize,
+    /// Targets whose utility state may differ in the new epoch: every
+    /// node within the utility's invalidation radius of a mutated
+    /// endpoint (pre- or post-mutation), sorted ascending. All nodes when
+    /// the radius is unbounded or the graph is directed.
+    pub dirty_targets: Vec<NodeId>,
+    /// Cached target states actually dropped (≤ `dirty_targets.len()`).
+    pub invalidated: usize,
+    /// Whether the overlay was folded back into a fresh CSR base after
+    /// this batch (reads are unaffected; `shared_graph` identity changes).
+    pub compacted: bool,
+}
+
+/// A target's per-epoch serving state, computed once and shared by every
+/// request about the target until a mutation dirties it.
+#[derive(Debug)]
+struct TargetState {
+    candidates: CandidateSet,
+    utilities: UtilityVector,
+}
+
+/// Fraction of nodes the overlay may dirty before the service re-bases
+/// onto a compacted CSR (¼ keeps overlay map probes rare on hot paths).
+const COMPACT_DIRTY_FRACTION: f64 = 0.25;
+
+/// A batch recommendation server over a shared, mutable graph. See the
+/// [module docs](self) for the architecture and the epoch model.
 pub struct RecommendationService {
-    graph: Arc<Graph>,
+    delta: DeltaGraph,
+    epoch: u64,
     utility: Arc<dyn UtilityFunction>,
     config: ServiceConfig,
     sensitivity: f64,
     accountant: Mutex<BudgetAccountant>,
+    cache: Mutex<HashMap<NodeId, Arc<TargetState>>>,
 }
 
 impl RecommendationService {
-    /// Assembles a service. Accepts an owned [`Graph`] or an
+    /// Assembles a service at epoch 0. Accepts an owned [`Graph`] or an
     /// [`Arc<Graph>`] already shared with other consumers.
     ///
     /// # Panics
@@ -174,33 +271,46 @@ impl RecommendationService {
         config: ServiceConfig,
     ) -> Self {
         assert!(config.epsilon_per_request > 0.0, "epsilon must be positive");
-        let graph = graph.into();
+        let delta = DeltaGraph::new(graph);
         let utility: Arc<dyn UtilityFunction> = Arc::from(utility);
-        let sensitivity = config
-            .sensitivity_override
-            .or_else(|| utility.sensitivity(&graph).map(|s| s.value(config.sensitivity_norm)))
-            .expect("utility reports no sensitivity and no override was given");
+        let sensitivity = calibrate(&config, utility.as_ref(), &delta);
         RecommendationService {
-            graph,
+            delta,
+            epoch: 0,
             utility,
             config,
             sensitivity,
             accountant: Mutex::new(BudgetAccountant::new(config.budget_per_target)),
+            cache: Mutex::new(HashMap::new()),
         }
     }
 
-    /// A shared handle to the served graph, for wiring
+    /// A shared handle to the current epoch's CSR base, for wiring
     /// [`crate::Recommender`]s or further services to the same instance.
+    /// Pending overlay mutations (if any) are *not* visible through it;
+    /// [`RecommendationService::snapshot`] materialises them.
     pub fn shared_graph(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+        Arc::clone(self.delta.base())
     }
 
-    /// The served graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// The current read view: base CSR plus pending overlay mutations.
+    pub fn view(&self) -> &DeltaGraph {
+        &self.delta
     }
 
-    /// The calibrated sensitivity `Δf`.
+    /// A fresh CSR snapshot of the current edge set (compacts the
+    /// overlay; the service itself is unchanged).
+    pub fn snapshot(&self) -> Graph {
+        self.delta.compact()
+    }
+
+    /// The current graph version: 0 at construction, +1 per applied
+    /// mutation batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The calibrated sensitivity `Δf` for the current epoch.
     pub fn sensitivity(&self) -> f64 {
         self.sensitivity
     }
@@ -215,14 +325,109 @@ impl RecommendationService {
         self.accountant.lock().expect("accountant lock").remaining(target)
     }
 
-    /// Forgets all budget spend (privacy epoch rollover).
+    /// Forgets all budget spend (privacy epoch rollover). Note that
+    /// *graph* epochs ([`RecommendationService::apply_mutations`]) never
+    /// do this implicitly — see the module docs.
     pub fn reset_budgets(&self) {
         self.accountant.lock().expect("accountant lock").reset();
     }
 
+    /// Applies a batch of edge mutations atomically and starts a new
+    /// epoch. On success, cached candidate/utility state is invalidated
+    /// for exactly the returned [`Epoch::dirty_targets`]; budgets carry
+    /// over untouched. On error nothing changes — not the graph, not the
+    /// epoch, not the caches. An empty batch is a no-op: same epoch, no
+    /// invalidation.
+    pub fn apply_mutations(&mut self, mutations: &[EdgeMutation]) -> Result<Epoch, MutationError> {
+        if mutations.is_empty() {
+            return Ok(Epoch {
+                version: self.epoch,
+                insertions: 0,
+                deletions: 0,
+                dirty_targets: Vec::new(),
+                invalidated: 0,
+                compacted: false,
+            });
+        }
+        // Stage on a copy so a mid-batch rejection cannot leave a
+        // half-applied overlay behind.
+        let mut staged = self.delta.clone();
+        for (index, mutation) in mutations.iter().enumerate() {
+            staged.apply(mutation).map_err(|source| MutationError::Rejected {
+                index,
+                mutation: *mutation,
+                source,
+            })?;
+        }
+
+        let num_nodes = staged.num_nodes();
+        let dirty_targets: Vec<NodeId> = match self.utility.invalidation_radius() {
+            // The radius bound is argued over undirected neighbourhoods;
+            // bounding *in*-reachability on directed graphs would need a
+            // reverse index the overlay does not keep, so directed graphs
+            // conservatively dirty everyone.
+            Some(radius) if !staged.is_directed() => {
+                let seeds: BTreeSet<NodeId> = mutations.iter().flat_map(|m| [m.u, m.v]).collect();
+                let mut marked = vec![false; num_nodes];
+                // The ball must cover both neighbourhoods: a deleted
+                // edge's influence is visible from the pre-mutation
+                // adjacency, an inserted edge's from the post-mutation
+                // one.
+                mark_ball(&self.delta, &seeds, radius, &mut marked);
+                mark_ball(&staged, &seeds, radius, &mut marked);
+                marked.iter().enumerate().filter(|&(_, &m)| m).map(|(v, _)| v as NodeId).collect()
+            }
+            _ => (0..num_nodes as NodeId).collect(),
+        };
+
+        let invalidated = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            if dirty_targets.len() == num_nodes {
+                let n = cache.len();
+                cache.clear();
+                n
+            } else {
+                dirty_targets.iter().filter(|t| cache.remove(t).is_some()).count()
+            }
+        };
+
+        // Commit: new overlay, new epoch, re-calibrated Δf (it may depend
+        // on the maximum degree, which the batch can change).
+        self.delta = staged;
+        self.epoch += 1;
+        self.sensitivity = calibrate(&self.config, self.utility.as_ref(), &self.delta);
+
+        let compacted = self.delta.num_dirty() as f64 > COMPACT_DIRTY_FRACTION * num_nodes as f64;
+        if compacted {
+            self.delta = DeltaGraph::new(self.delta.compact());
+        }
+
+        Ok(Epoch {
+            version: self.epoch,
+            insertions: mutations.iter().filter(|m| m.op == MutationOp::Insert).count(),
+            deletions: mutations.iter().filter(|m| m.op == MutationOp::Delete).count(),
+            dirty_targets,
+            invalidated,
+            compacted,
+        })
+    }
+
+    /// Folds any pending overlay mutations into a fresh CSR base now,
+    /// regardless of overlay size. Reads, caches, budgets and the epoch
+    /// are unaffected (the edge set does not change); returns whether
+    /// there was anything to fold.
+    pub fn compact(&mut self) -> bool {
+        if self.delta.is_clean() {
+            return false;
+        }
+        self.delta = DeltaGraph::new(self.delta.compact());
+        true
+    }
+
     /// Serves a whole batch. Outcomes are returned in request order and
-    /// are bit-identical for a given `(requests, seed)` regardless of the
-    /// configured thread count.
+    /// are bit-identical for a given `(requests, seed)` and mutation
+    /// history, regardless of the configured thread count and of how warm
+    /// the per-target cache is.
     ///
     /// Budget admission runs sequentially in request order *before* any
     /// evaluation (so "which request hit the budget wall" never depends
@@ -283,10 +488,10 @@ impl RecommendationService {
         accountant: &mut BudgetAccountant,
         request: &BatchRequest,
     ) -> Option<ServeError> {
-        if (request.target as usize) >= self.graph.num_nodes() {
+        if (request.target as usize) >= self.delta.num_nodes() {
             return Some(ServeError::UnknownTarget {
                 target: request.target,
-                num_nodes: self.graph.num_nodes(),
+                num_nodes: self.delta.num_nodes(),
             });
         }
         if request.k == 0 {
@@ -300,8 +505,23 @@ impl RecommendationService {
         }
     }
 
+    /// The target's epoch state: cached when present, computed (and
+    /// cached) otherwise. Computation happens outside the cache lock —
+    /// two workers racing on one target both compute the same pure value
+    /// and the second insert is a no-op.
+    fn target_state(&self, target: NodeId) -> Arc<TargetState> {
+        if let Some(state) = self.cache.lock().expect("cache lock").get(&target) {
+            return Arc::clone(state);
+        }
+        let candidates = CandidateSet::for_target(&self.delta, target);
+        let utilities = self.utility.utilities(&self.delta, target, &candidates);
+        let computed = Arc::new(TargetState { candidates, utilities });
+        let mut cache = self.cache.lock().expect("cache lock");
+        Arc::clone(cache.entry(target).or_insert(computed))
+    }
+
     /// Evaluates one admitted request: candidate set and utility vector
-    /// once, then `k` slots peeled from them.
+    /// from the epoch cache, then `k` slots peeled from them.
     fn evaluate(
         &self,
         request: &BatchRequest,
@@ -313,14 +533,14 @@ impl RecommendationService {
         // targets within a batch get independent draws.
         let mut rng = rng_from_seed(split_seed(seed, 0xBA_0000 + index as u64));
 
-        let candidates = CandidateSet::for_target(&self.graph, request.target);
-        if candidates.is_empty() {
+        let state = self.target_state(request.target);
+        if state.candidates.is_empty() {
             return Err(ServeError::NoCandidates { target: request.target });
         }
-        let u = self.utility.utilities(&self.graph, request.target, &candidates);
+        let u = &state.utilities;
         let k = request.k.min(u.len());
         let top = topk::topk_exponential(
-            &u,
+            u,
             k,
             self.config.epsilon_per_request,
             self.sensitivity,
@@ -330,7 +550,7 @@ impl RecommendationService {
         // Resolve anonymous zero-class slots to distinct concrete nodes.
         let zero_slots = top.picks.iter().filter(|p| p.is_none()).count();
         let mut zero_picks =
-            resolve_zero_class_distinct(zero_slots, &u, &candidates, &mut rng).into_iter();
+            resolve_zero_class_distinct(zero_slots, u, &state.candidates, &mut rng).into_iter();
         let recommendations: Vec<NodeId> = top
             .picks
             .iter()
@@ -345,6 +565,39 @@ impl RecommendationService {
             total_utility: top.total_utility,
             epsilon_spent: self.config.epsilon_per_request,
         })
+    }
+}
+
+/// Δf for the current graph under the configured norm/override.
+fn calibrate(config: &ServiceConfig, utility: &dyn UtilityFunction, view: &DeltaGraph) -> f64 {
+    config
+        .sensitivity_override
+        .or_else(|| utility.sensitivity(view).map(|s| s.value(config.sensitivity_norm)))
+        .expect("utility reports no sensitivity and no override was given")
+}
+
+/// Marks every node within `radius` hops of any seed (seeds included) in
+/// `view`. Multi-source truncated BFS; `marked` accumulates across calls.
+fn mark_ball(view: &DeltaGraph, seeds: &BTreeSet<NodeId>, radius: usize, marked: &mut [bool]) {
+    let mut dist: Vec<u32> = vec![u32::MAX; view.num_nodes()];
+    let mut queue = VecDeque::new();
+    for &s in seeds {
+        dist[s as usize] = 0;
+        marked[s as usize] = true;
+        queue.push_back(s);
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d as usize >= radius {
+            continue;
+        }
+        for &w in view.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                marked[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
     }
 }
 
@@ -372,7 +625,7 @@ mod tests {
             assert_eq!(set.len(), 3, "slots must be distinct");
             for &v in &served.recommendations {
                 assert_ne!(v, served.target);
-                assert!(!svc.graph().has_edge(served.target, v), "recommended an existing edge");
+                assert!(!svc.view().has_edge(served.target, v), "recommended an existing edge");
             }
             assert_eq!(served.epsilon_spent, 1.0);
         }
@@ -385,6 +638,19 @@ mod tests {
         let one = service(ServiceConfig { threads: Some(1), ..Default::default() });
         let eight = service(ServiceConfig { threads: Some(8), ..Default::default() });
         assert_eq!(one.serve_batch(&batch, 99), eight.serve_batch(&batch, 99));
+    }
+
+    #[test]
+    fn cache_reuse_does_not_change_results() {
+        // A warm cache (second serve of the same batch) must be
+        // bit-identical to a cold fresh service.
+        let warm =
+            service(ServiceConfig { budget_per_target: f64::INFINITY, ..Default::default() });
+        let _ = warm.serve_batch(&requests(2), 5);
+        let again = warm.serve_batch(&requests(2), 5);
+        let cold =
+            service(ServiceConfig { budget_per_target: f64::INFINITY, ..Default::default() });
+        assert_eq!(again, cold.serve_batch(&requests(2), 5));
     }
 
     #[test]
@@ -432,7 +698,7 @@ mod tests {
     fn oversized_k_is_clamped_to_the_candidate_set() {
         let svc = service(ServiceConfig::default());
         let served = svc.serve_one(0, 10_000, 3).unwrap();
-        let candidates = CandidateSet::for_target(svc.graph(), 0);
+        let candidates = CandidateSet::for_target(svc.view(), 0);
         assert_eq!(served.requested_k, 10_000);
         assert_eq!(served.recommendations.len(), candidates.len());
         let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
@@ -450,7 +716,7 @@ mod tests {
         });
         let served = svc.serve_one(0, 8, 11).unwrap();
         assert!(served.zero_class_picks > 0, "tiny ε must hit the zero class");
-        let candidates = CandidateSet::for_target(svc.graph(), 0);
+        let candidates = CandidateSet::for_target(svc.view(), 0);
         let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
         assert_eq!(set.len(), served.recommendations.len());
         for &v in &served.recommendations {
@@ -467,12 +733,139 @@ mod tests {
             Box::new(psr_privacy::ExponentialMechanism::paper()),
             crate::RecommenderConfig::default(),
         );
-        assert!(std::ptr::eq(svc.graph(), rec.graph()));
+        assert!(std::ptr::eq(svc.shared_graph().as_ref() as *const Graph, rec.graph()));
     }
 
     #[test]
     #[should_panic(expected = "epsilon must be positive")]
     fn zero_eps_rejected() {
         let _ = service(ServiceConfig { epsilon_per_request: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn mutations_open_a_new_epoch_and_update_reads() {
+        let mut svc = service(ServiceConfig::default());
+        assert_eq!(svc.epoch(), 0);
+        assert!(svc.view().has_edge(0, 1));
+        let epoch =
+            svc.apply_mutations(&[EdgeMutation::delete(0, 1), EdgeMutation::insert(0, 9)]).unwrap();
+        assert_eq!(epoch.version, 1);
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(epoch.insertions, 1);
+        assert_eq!(epoch.deletions, 1);
+        assert!(!svc.view().has_edge(0, 1));
+        assert!(svc.view().has_edge(0, 9));
+        // Recommendations in the new epoch respect the new edge set.
+        let svc2 = svc; // serve immutably
+        let served = svc2.serve_one(0, 3, 7).unwrap();
+        for &v in &served.recommendations {
+            assert!(!svc2.view().has_edge(0, v));
+            assert_ne!(v, 0);
+        }
+    }
+
+    #[test]
+    fn dirty_targets_cover_the_mutation_ball_only() {
+        // Common neighbours has invalidation radius 1: the dirty set is
+        // the endpoints plus their neighbours (old and new), not the
+        // whole karate club.
+        let mut svc = service(ServiceConfig::default());
+        let graph = svc.shared_graph();
+        // Warm every target's cache.
+        let _ = svc.serve_batch(&requests(1), 3);
+        let epoch = svc.apply_mutations(&[EdgeMutation::insert(24, 16)]).unwrap();
+        let mut expected: BTreeSet<NodeId> = BTreeSet::from([24, 16]);
+        expected.extend(graph.neighbors(24).iter().copied());
+        expected.extend(graph.neighbors(16).iter().copied());
+        assert_eq!(epoch.dirty_targets, expected.into_iter().collect::<Vec<_>>());
+        assert!(epoch.dirty_targets.len() < 34, "must not dirty the whole graph");
+        assert_eq!(epoch.invalidated, epoch.dirty_targets.len(), "all were cached");
+    }
+
+    #[test]
+    fn rejected_batch_changes_nothing() {
+        let mut svc = service(ServiceConfig::default());
+        let before = svc.serve_batch(&requests(2), 9);
+        svc.reset_budgets();
+        let err = svc
+            .apply_mutations(&[
+                EdgeMutation::insert(0, 9),
+                EdgeMutation::insert(0, 1), // duplicate: karate club has 0-1
+            ])
+            .unwrap_err();
+        match &err {
+            MutationError::Rejected { index, mutation, source } => {
+                assert_eq!(*index, 1);
+                assert_eq!(*mutation, EdgeMutation::insert(0, 1));
+                assert_eq!(*source, GraphError::EdgeExists { from: 0, to: 1 });
+            }
+        }
+        assert!(err.to_string().contains("mutation #1"));
+        assert_eq!(svc.epoch(), 0);
+        assert!(!svc.view().has_edge(0, 9), "partial batch must be rolled back");
+        svc.reset_budgets();
+        assert_eq!(svc.serve_batch(&requests(2), 9), before, "serving state untouched");
+    }
+
+    #[test]
+    fn empty_mutation_batch_is_a_no_op() {
+        let mut svc = service(ServiceConfig::default());
+        let _ = svc.serve_batch(&requests(1), 3); // warm caches
+        let epoch = svc.apply_mutations(&[]).unwrap();
+        assert_eq!(epoch.version, 0, "no change, no new epoch");
+        assert!(epoch.dirty_targets.is_empty());
+        assert_eq!(epoch.invalidated, 0, "warm caches must survive");
+        assert_eq!(svc.epoch(), 0);
+    }
+
+    #[test]
+    fn budgets_carry_across_epochs() {
+        let mut svc = service(ServiceConfig {
+            epsilon_per_request: 1.0,
+            budget_per_target: 2.0,
+            ..Default::default()
+        });
+        assert!(svc.serve_one(0, 1, 1).is_ok());
+        assert_eq!(svc.remaining_budget(0), 1.0);
+        svc.apply_mutations(&[EdgeMutation::insert(0, 9)]).unwrap();
+        assert_eq!(svc.remaining_budget(0), 1.0, "mutations must not refund ε");
+        assert!(svc.serve_one(0, 1, 2).is_ok());
+        assert!(matches!(
+            svc.serve_one(0, 1, 3),
+            Err(ServeError::BudgetExhausted { target: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn heavy_mutation_batch_triggers_compaction() {
+        let mut svc = service(ServiceConfig::default());
+        let base = svc.shared_graph();
+        // Dirty well over a quarter of the 34 nodes: fresh edges between
+        // disjoint endpoint pairs.
+        let muts: Vec<EdgeMutation> = (0..17u32)
+            .map(|i| (2 * i, 2 * i + 1))
+            .filter(|&(u, v)| !base.has_edge(u, v))
+            .map(|(u, v)| EdgeMutation::insert(u, v))
+            .collect();
+        assert!(muts.len() >= 10);
+        let epoch = svc.apply_mutations(&muts).unwrap();
+        assert!(epoch.compacted);
+        assert!(svc.view().is_clean(), "overlay folded into the new base");
+        assert!(!Arc::ptr_eq(&svc.shared_graph(), &base), "re-based onto a fresh CSR");
+        for m in &muts {
+            assert!(svc.view().has_edge(m.u, m.v));
+        }
+    }
+
+    #[test]
+    fn explicit_compact_preserves_reads_and_epoch() {
+        let mut svc = service(ServiceConfig::default());
+        svc.apply_mutations(&[EdgeMutation::insert(24, 16)]).unwrap();
+        let before = svc.snapshot();
+        let epoch = svc.epoch();
+        assert!(svc.compact());
+        assert!(!svc.compact(), "second compact is a no-op");
+        assert_eq!(svc.snapshot(), before);
+        assert_eq!(svc.epoch(), epoch);
     }
 }

@@ -16,12 +16,18 @@
 //!
 //! All generators are deterministic given a [`seed`], making every figure
 //! in the reproduction replayable.
+//!
+//! Beyond static bases, [`stream`] generates timestamped
+//! insert/delete mutation sequences over any of them — the workload the
+//! dynamic-graph subsystem (`psr_graph::DeltaGraph`, serving epochs,
+//! `psr serve --mutations`) consumes.
 
 pub mod barabasi_albert;
 pub mod config_model;
 pub mod degrees;
 pub mod erdos_renyi;
 pub mod seed;
+pub mod stream;
 pub mod watts_strogatz;
 
 pub use barabasi_albert::{ba_directed, ba_undirected, BaParams};
@@ -29,4 +35,5 @@ pub use config_model::erased_configuration_model;
 pub use degrees::{powerlaw_degree_sequence, PowerLawParams};
 pub use erdos_renyi::{gnm, gnp};
 pub use seed::{rng_from_seed, split_seed};
+pub use stream::{edge_stream, StreamEvent, StreamParams};
 pub use watts_strogatz::watts_strogatz;

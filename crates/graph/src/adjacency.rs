@@ -44,6 +44,12 @@ impl MutableGraph {
         self.direction == Direction::Directed
     }
 
+    /// Direction marker.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
     /// Sorted out-neighbours of `v`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {

@@ -2,15 +2,15 @@
 
 use std::collections::VecDeque;
 
-use crate::csr::Graph;
 use crate::node::{ix, NodeId};
+use crate::view::GraphView;
 
 /// Distance marker for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// Hop distances from `source` to every node, following out-edges.
 /// Unreachable nodes get [`UNREACHABLE`].
-pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
+pub fn bfs_distances<V: GraphView + ?Sized>(graph: &V, source: NodeId) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; graph.num_nodes()];
     let mut queue = VecDeque::new();
     dist[ix(source)] = 0;
@@ -31,7 +31,7 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<u32> {
 /// sorted ascending. This is the candidate pool with non-zero utility for
 /// hop-local utility functions: for common neighbours only the 2-hop
 /// neighbourhood can score (§4.2).
-pub fn k_hop_neighborhood(graph: &Graph, source: NodeId, k: u32) -> Vec<NodeId> {
+pub fn k_hop_neighborhood<V: GraphView + ?Sized>(graph: &V, source: NodeId, k: u32) -> Vec<NodeId> {
     let dist = bfs_distances(graph, source);
     let mut out: Vec<NodeId> = dist
         .iter()

@@ -5,8 +5,8 @@
 //! `C(i, r) = |{a : (r, a) ∈ E ∧ (a, i) ∈ E}|`, i.e. the number of 2-step
 //! out-walks from `r` to `i`.
 
-use crate::csr::Graph;
 use crate::node::{ix, NodeId};
+use crate::view::GraphView;
 
 /// Counts common neighbours between the target `r` and *every* node reached
 /// by a 2-step out-walk, returning sparse `(node, count)` pairs sorted by
@@ -16,7 +16,7 @@ use crate::node::{ix, NodeId};
 /// Runs in `O(Σ_{a ∈ N(r)} deg(a))` using a dense counting array that is
 /// allocated per call; use [`CommonNeighborCounter`] to amortise the
 /// allocation across many targets.
-pub fn common_neighbor_counts(graph: &Graph, r: NodeId) -> Vec<(NodeId, u32)> {
+pub fn common_neighbor_counts<V: GraphView + ?Sized>(graph: &V, r: NodeId) -> Vec<(NodeId, u32)> {
     CommonNeighborCounter::new(graph.num_nodes()).counts(graph, r)
 }
 
@@ -25,7 +25,7 @@ pub fn common_neighbor_counts(graph: &Graph, r: NodeId) -> Vec<(NodeId, u32)> {
 /// nodes that both `u` and `v` point at — callers wanting the §7.1
 /// semantics of 2-step walks from a target should use
 /// [`common_neighbor_counts`] instead.
-pub fn common_neighbor_count(graph: &Graph, u: NodeId, v: NodeId) -> u32 {
+pub fn common_neighbor_count<V: GraphView + ?Sized>(graph: &V, u: NodeId, v: NodeId) -> u32 {
     let (mut a, mut b) = (graph.neighbors(u), graph.neighbors(v));
     if a.len() > b.len() {
         std::mem::swap(&mut a, &mut b);
@@ -62,7 +62,7 @@ impl CommonNeighborCounter {
     }
 
     /// See [`common_neighbor_counts`].
-    pub fn counts(&mut self, graph: &Graph, r: NodeId) -> Vec<(NodeId, u32)> {
+    pub fn counts<V: GraphView + ?Sized>(&mut self, graph: &V, r: NodeId) -> Vec<(NodeId, u32)> {
         debug_assert!(self.counts.len() >= graph.num_nodes());
         for &a in graph.neighbors(r) {
             for &i in graph.neighbors(a) {

@@ -11,8 +11,8 @@
 //! candidate sets; `walks_are_paths` in the test module verifies this
 //! against brute-force path enumeration.
 
-use crate::csr::Graph;
 use crate::node::{ix, NodeId};
+use crate::view::GraphView;
 
 /// Per-length sparse walk counts from a fixed source.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +63,12 @@ impl WalkCounter {
     /// Counts walks of each length `1..=max_len` from `source`, following
     /// out-edges. Counts are `f64` because length-3 counts on hub-heavy
     /// graphs overflow `u32` (the Twitter-like graph has a degree-13k hub).
-    pub fn count_from(&mut self, graph: &Graph, source: NodeId, max_len: usize) -> WalkCounts {
+    pub fn count_from<V: GraphView + ?Sized>(
+        &mut self,
+        graph: &V,
+        source: NodeId,
+        max_len: usize,
+    ) -> WalkCounts {
         assert!(self.cur.len() >= graph.num_nodes(), "workspace smaller than graph");
         let mut per_length = Vec::with_capacity(max_len);
 

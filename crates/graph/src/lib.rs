@@ -14,10 +14,20 @@
 //!   single-edge additions/removals that differential-privacy
 //!   neighbourhood arguments (and the paper's `t` edit-distance
 //!   experiments) require.
+//! * [`GraphView`] — the read-only abstraction (`neighbors` / `degree` /
+//!   `has_edge` / `nodes`) every kernel consumes, implemented by
+//!   [`Graph`], [`MutableGraph`] and [`DeltaGraph`] alike.
+//! * [`DeltaGraph`] — a dynamic overlay of [`EdgeMutation`]s (insertions,
+//!   tombstoned deletions, per-node dirty sets) over an `Arc`-shared CSR
+//!   base, with `compact()` back into a fresh snapshot. One applied
+//!   mutation steps the view to an edge-adjacent graph in the sense of
+//!   the paper's Definition 1, which is the granularity the serving
+//!   layer's epoch/ε-budget accounting reasons about.
 //! * [`io`] — SNAP-style edge-list text I/O plus a compact binary snapshot
 //!   format.
 //! * [`algo`] — BFS, connected components, degree statistics, truncated
-//!   walk counting and common-neighbour counting.
+//!   walk counting and common-neighbour counting (generic over
+//!   [`GraphView`]).
 //!
 //! # Example
 //!
@@ -39,15 +49,21 @@ mod adjacency;
 pub mod algo;
 mod builder;
 mod csr;
+mod delta;
 mod error;
 pub mod io;
+mod mutation;
 mod node;
+mod view;
 
 pub use adjacency::MutableGraph;
 pub use builder::{directed_from_edges, undirected_from_edges, Direction, GraphBuilder};
 pub use csr::Graph;
+pub use delta::DeltaGraph;
 pub use error::GraphError;
+pub use mutation::{EdgeMutation, MutationOp};
 pub use node::NodeId;
+pub use view::GraphView;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

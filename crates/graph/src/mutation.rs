@@ -1,0 +1,92 @@
+//! Edge mutations: the unit of change of the dynamic-graph subsystem.
+//!
+//! Differential privacy on graphs is stated over *edge-level* change
+//! (Definition 1: graphs differing in one edge), and the serving layer's
+//! epoch model applies batches of exactly such changes. [`EdgeMutation`]
+//! is the serialisable record of one change — it is what
+//! `psr-gen`'s edge streams emit, what `psr serve --mutations` reads, and
+//! what [`crate::DeltaGraph`] applies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Whether a mutation inserts or deletes its edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationOp {
+    /// Add the edge (it must not exist).
+    Insert,
+    /// Remove the edge (it must exist).
+    Delete,
+}
+
+/// One edge-level change to a graph: insert or delete `(u, v)`.
+///
+/// On undirected graphs the endpoint order is irrelevant; on directed
+/// graphs the mutation targets the arc `u → v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeMutation {
+    /// Insert or delete.
+    pub op: MutationOp,
+    /// Source endpoint.
+    pub u: NodeId,
+    /// Target endpoint.
+    pub v: NodeId,
+}
+
+impl EdgeMutation {
+    /// An insertion of `(u, v)`.
+    pub fn insert(u: NodeId, v: NodeId) -> Self {
+        EdgeMutation { op: MutationOp::Insert, u, v }
+    }
+
+    /// A deletion of `(u, v)`.
+    pub fn delete(u: NodeId, v: NodeId) -> Self {
+        EdgeMutation { op: MutationOp::Delete, u, v }
+    }
+
+    /// The mutation that undoes this one (same edge, opposite op).
+    pub fn inverse(self) -> Self {
+        let op = match self.op {
+            MutationOp::Insert => MutationOp::Delete,
+            MutationOp::Delete => MutationOp::Insert,
+        };
+        EdgeMutation { op, ..self }
+    }
+}
+
+impl std::fmt::Display for EdgeMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            MutationOp::Insert => write!(f, "+({}, {})", self.u, self.v),
+            MutationOp::Delete => write!(f, "-({}, {})", self.u, self.v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_an_involution() {
+        let m = EdgeMutation::insert(3, 7);
+        assert_eq!(m.inverse(), EdgeMutation::delete(3, 7));
+        assert_eq!(m.inverse().inverse(), m);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(EdgeMutation::insert(1, 2).to_string(), "+(1, 2)");
+        assert_eq!(EdgeMutation::delete(1, 2).to_string(), "-(1, 2)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let muts = vec![EdgeMutation::insert(0, 5), EdgeMutation::delete(5, 9)];
+        let json = serde_json::to_string(&muts).unwrap();
+        let back: Vec<EdgeMutation> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, muts);
+        assert!(json.contains("Insert") && json.contains("Delete"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The read-only graph abstraction shared by CSR snapshots and overlays.
+//!
+//! Every link-analysis kernel in this workspace reads a graph through four
+//! primitives — `neighbors`, `degree`, `has_edge`, `nodes` — and never
+//! writes. [`GraphView`] captures exactly that contract, so the kernels
+//! (and `psr-utility`'s `UtilityFunction` implementations) run unchanged
+//! over an immutable [`Graph`], a [`crate::MutableGraph`] mid-edit, or a
+//! [`crate::DeltaGraph`] overlay carrying uncompacted mutations.
+//!
+//! The trait is object-safe: serving code holds `&dyn GraphView` so one
+//! code path covers both the clean-CSR fast path and the overlay path.
+//! `neighbors` returns a borrowed sorted slice — implementors must keep a
+//! materialised sorted adjacency per node, which is what makes the
+//! abstraction free for the CSR case (no iterator indirection on the hot
+//! kernels).
+
+use std::sync::Arc;
+
+use crate::adjacency::MutableGraph;
+use crate::builder::Direction;
+use crate::csr::Graph;
+use crate::node::NodeId;
+
+/// Read-only access to a simple graph with sorted adjacency.
+///
+/// Invariants implementors must uphold (the differential conformance
+/// suites check them for every implementation in this crate):
+///
+/// * `neighbors(v)` is sorted ascending and duplicate-free,
+/// * undirected views are symmetric: `u ∈ neighbors(v) ⇔ v ∈ neighbors(u)`,
+/// * `num_edges` counts each undirected edge once,
+/// * node ids are dense: `0..num_nodes`.
+pub trait GraphView: Send + Sync {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of logical edges (each undirected edge counted once).
+    fn num_edges(&self) -> usize;
+
+    /// Direction marker.
+    fn direction(&self) -> Direction;
+
+    /// Sorted out-neighbour slice of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    fn neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Whether the graph is directed.
+    fn is_directed(&self) -> bool {
+        self.direction() == Direction::Directed
+    }
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether the arc `(u, v)` is present (symmetric for undirected
+    /// graphs).
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Maximum out-degree over all nodes (0 for the empty graph).
+    fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+impl GraphView for Graph {
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+    fn direction(&self) -> Direction {
+        Graph::direction(self)
+    }
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, v)
+    }
+    fn degree(&self, v: NodeId) -> usize {
+        Graph::degree(self, v)
+    }
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+}
+
+impl GraphView for MutableGraph {
+    fn num_nodes(&self) -> usize {
+        MutableGraph::num_nodes(self)
+    }
+    fn num_edges(&self) -> usize {
+        MutableGraph::num_edges(self)
+    }
+    fn direction(&self) -> Direction {
+        MutableGraph::direction(self)
+    }
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        MutableGraph::neighbors(self, v)
+    }
+}
+
+macro_rules! forward_graph_view {
+    ($($ty:ty),+) => {$(
+        impl<V: GraphView + ?Sized> GraphView for $ty {
+            fn num_nodes(&self) -> usize {
+                (**self).num_nodes()
+            }
+            fn num_edges(&self) -> usize {
+                (**self).num_edges()
+            }
+            fn direction(&self) -> Direction {
+                (**self).direction()
+            }
+            fn neighbors(&self, v: NodeId) -> &[NodeId] {
+                (**self).neighbors(v)
+            }
+            fn degree(&self, v: NodeId) -> usize {
+                (**self).degree(v)
+            }
+            fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+                (**self).has_edge(u, v)
+            }
+            fn max_degree(&self) -> usize {
+                (**self).max_degree()
+            }
+        }
+    )+};
+}
+
+forward_graph_view!(&V, Arc<V>, Box<V>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::undirected_from_edges;
+
+    fn reads<V: GraphView + ?Sized>(view: &V) -> (usize, usize, Vec<NodeId>, bool) {
+        (view.num_nodes(), view.num_edges(), view.neighbors(1).to_vec(), view.has_edge(0, 2))
+    }
+
+    #[test]
+    fn csr_mutable_and_smart_pointers_agree() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let m = MutableGraph::from(&g);
+        let arc = Arc::new(g.clone());
+        let boxed: Box<dyn GraphView> = Box::new(g.clone());
+        let expected = (4, 4, vec![0, 2], true);
+        assert_eq!(reads(&g), expected);
+        assert_eq!(reads(&m), expected);
+        assert_eq!(reads(&arc), expected);
+        assert_eq!(reads(boxed.as_ref()), expected);
+        assert_eq!(reads(&&g), expected);
+    }
+
+    #[test]
+    fn defaults_derive_from_neighbors() {
+        let g = undirected_from_edges([(0, 1), (1, 2)]).unwrap();
+        let view: &dyn GraphView = &g;
+        assert_eq!(view.degree(1), 2);
+        assert_eq!(view.max_degree(), 2);
+        assert!(!view.is_directed());
+        assert_eq!(view.nodes().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,6 +1,6 @@
 //! Candidate sets: which nodes may be recommended to a target.
 
-use psr_graph::{Graph, NodeId};
+use psr_graph::{GraphView, NodeId};
 
 /// The candidate policy of §7.1: every node except the target itself and
 /// the nodes the target is already connected to (by out-edges, for
@@ -15,8 +15,9 @@ pub struct CandidateSet {
 }
 
 impl CandidateSet {
-    /// Builds the candidate set for `target` in `graph`.
-    pub fn for_target(graph: &Graph, target: NodeId) -> Self {
+    /// Builds the candidate set for `target` in `graph` (any
+    /// [`GraphView`]: CSR snapshot, mutable graph or delta overlay).
+    pub fn for_target<V: GraphView + ?Sized>(graph: &V, target: NodeId) -> Self {
         let mut excluded: Vec<NodeId> = graph.neighbors(target).to_vec();
         match excluded.binary_search(&target) {
             Ok(_) => {} // cannot happen in simple graphs, but harmless
@@ -60,7 +61,7 @@ impl CandidateSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psr_graph::GraphBuilder;
+    use psr_graph::{Graph, GraphBuilder};
 
     fn graph() -> Graph {
         // 0-1, 0-2, 3, 4 isolated-ish

@@ -1,7 +1,7 @@
 //! The common-neighbours utility — the paper's running example (§4.1).
 
 use psr_graph::algo::common_neighbor_counts;
-use psr_graph::{Graph, NodeId};
+use psr_graph::{GraphView, NodeId};
 
 use crate::candidates::CandidateSet;
 use crate::sensitivity::Sensitivity;
@@ -18,7 +18,12 @@ impl UtilityFunction for CommonNeighbors {
         "common-neighbors".to_owned()
     }
 
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector {
         let raw = common_neighbor_counts(graph, target);
         let sparse: Vec<(NodeId, f64)> = raw
             .into_iter()
@@ -33,15 +38,28 @@ impl UtilityFunction for CommonNeighbors {
     /// `𝟙[y ∈ N(r)]` and `C(y, r)` by `𝟙[x ∈ N(r)]` (directed: the change
     /// lands on the walk endpoint only); no other candidate's count moves.
     /// Hence `Δ₁ ≤ 2`, `Δ∞ ≤ 1` — independent of the graph.
-    fn sensitivity(&self, _graph: &Graph) -> Option<Sensitivity> {
+    fn sensitivity(&self, _graph: &dyn GraphView) -> Option<Sensitivity> {
         Some(Sensitivity { l1: 2.0, linf: 1.0 })
+    }
+
+    /// `C(·, r)` depends only on edges within two hops of `r`: toggling
+    /// `(x, y)` changes some `C(i, r)` (or `r`'s candidate set) only when
+    /// `x` or `y` lies in `N(r) ∪ {r}`, i.e. when `r` is within one hop
+    /// of an endpoint.
+    fn invalidation_radius(&self) -> Option<usize> {
+        Some(1)
     }
 
     /// §7.1: `t = u_max + 1 + 𝟙[u_max = d_r]` — add edges from a fresh
     /// candidate to `u_max + 1` of `r`'s neighbours to beat the incumbent;
     /// one extra alteration is needed when the incumbent already matches
     /// all `d_r` of them.
-    fn edit_distance_t(&self, graph: &Graph, target: NodeId, u: &UtilityVector) -> Option<u64> {
+    fn edit_distance_t(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        u: &UtilityVector,
+    ) -> Option<u64> {
         let u_max = u.u_max();
         let d_r = graph.degree(target) as f64;
         Some(u_max as u64 + 1 + u64::from(u_max == d_r))
@@ -51,7 +69,7 @@ impl UtilityFunction for CommonNeighbors {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psr_graph::{Direction, GraphBuilder};
+    use psr_graph::{Direction, Graph, GraphBuilder};
 
     fn diamond() -> Graph {
         // 0-1, 0-2, 1-3, 2-3: candidates of 0 are {3}; C(3,0) = 2.

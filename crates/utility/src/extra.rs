@@ -7,7 +7,7 @@
 //! analysed utilities (it is not: anything 2-hop-local inherits it).
 
 use psr_graph::algo::common_neighbor_counts;
-use psr_graph::{Graph, NodeId};
+use psr_graph::{GraphView, NodeId};
 
 use crate::candidates::CandidateSet;
 use crate::sensitivity::Sensitivity;
@@ -24,7 +24,12 @@ impl UtilityFunction for AdamicAdar {
         "adamic-adar".to_owned()
     }
 
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector {
         let mut acc: std::collections::BTreeMap<NodeId, f64> = std::collections::BTreeMap::new();
         for &z in graph.neighbors(target) {
             let dz = graph.degree(z);
@@ -48,11 +53,18 @@ impl UtilityFunction for AdamicAdar {
     /// endpoint (≤ `1/ln 2` each) and, by changing `deg x` and `deg y`,
     /// re-weights every 2-path through them (≤ `d_max` paths each, weight
     /// change ≤ `1/ln 2 − 1/ln 3` per path).
-    fn sensitivity(&self, graph: &Graph) -> Option<Sensitivity> {
+    fn sensitivity(&self, graph: &dyn GraphView) -> Option<Sensitivity> {
         let inv_ln2 = 1.0 / std::f64::consts::LN_2;
         let reweight = inv_ln2 - 1.0 / 3f64.ln();
         let d = graph.max_degree() as f64;
         Some(Sensitivity { l1: 2.0 * inv_ln2 + 2.0 * d * reweight, linf: inv_ln2 + d * reweight })
+    }
+
+    /// Both the 2-path structure and the middle-node degrees that weight
+    /// it involve only edges incident to `N(r) ∪ {r}`, so a toggled edge
+    /// matters only to targets within one hop of an endpoint.
+    fn invalidation_radius(&self) -> Option<usize> {
+        Some(1)
     }
 }
 
@@ -65,14 +77,34 @@ impl UtilityFunction for Jaccard {
         "jaccard".to_owned()
     }
 
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector {
         let d_r = graph.degree(target);
+        // The walk-count kernel seeds the support set, but the score uses
+        // the true out-neighbourhood intersection: on directed graphs a
+        // 2-step walk count is *not* `|Γ(r) ∩ Γ(v)|` (it can exceed both
+        // degrees and drive the union to zero). On undirected simple
+        // graphs the two provably coincide, so the walk count is reused
+        // there instead of re-intersecting per candidate.
+        let directed = graph.is_directed();
         let sparse: Vec<(NodeId, f64)> = common_neighbor_counts(graph, target)
             .into_iter()
             .filter(|&(v, _)| candidates.contains(v))
-            .map(|(v, c)| {
-                let union = d_r + graph.degree(v) - c as usize;
-                (v, c as f64 / union as f64)
+            .filter_map(|(v, c)| {
+                let inter = if directed {
+                    psr_graph::algo::common_neighbor_count(graph, target, v) as usize
+                } else {
+                    c as usize
+                };
+                if inter == 0 {
+                    return None; // zero-class candidate
+                }
+                let union = d_r + graph.degree(v) - inter;
+                Some((v, inter as f64 / union as f64))
             })
             .collect();
         let num_zero = candidates.len() - sparse.len();
@@ -82,11 +114,19 @@ impl UtilityFunction for Jaccard {
     /// Bounded by 1 per candidate; a single flipped edge touches the
     /// intersection of its two endpoints and the union terms of every
     /// candidate adjacent to them.
-    fn sensitivity(&self, graph: &Graph) -> Option<Sensitivity> {
+    fn sensitivity(&self, graph: &dyn GraphView) -> Option<Sensitivity> {
         let d = graph.max_degree() as f64;
         // Endpoint scores move by ≤ 1 each; degree changes perturb ≤ 2·d_max
         // other candidates' union terms by ≤ 1/(union²) ≤ 1 each (coarse).
         Some(Sensitivity { l1: 2.0 + 2.0 * d, linf: 1.0 })
+    }
+
+    /// Beyond the 2-path structure (one hop, as for common neighbours),
+    /// the union term reads `deg(i)` of scoring candidates — nodes two
+    /// hops from `r` — so a toggled edge incident to such a candidate
+    /// reaches targets two hops away.
+    fn invalidation_radius(&self) -> Option<usize> {
+        Some(2)
     }
 }
 
@@ -99,7 +139,12 @@ impl UtilityFunction for PreferentialAttachment {
         "preferential-attachment".to_owned()
     }
 
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector {
         let d_r = graph.degree(target) as f64;
         // d_r = 0 zeroes every product; keep such entries out of the sparse
         // part so the vector still covers all candidates.
@@ -114,7 +159,7 @@ impl UtilityFunction for PreferentialAttachment {
 
     /// A flipped edge changes two degrees by 1, so two candidates' scores
     /// move by `d_r ≤ d_max` each.
-    fn sensitivity(&self, graph: &Graph) -> Option<Sensitivity> {
+    fn sensitivity(&self, graph: &dyn GraphView) -> Option<Sensitivity> {
         let d = graph.max_degree() as f64;
         Some(Sensitivity { l1: 2.0 * d, linf: d })
     }
@@ -123,7 +168,7 @@ impl UtilityFunction for PreferentialAttachment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psr_graph::{Direction, GraphBuilder};
+    use psr_graph::{Direction, Graph, GraphBuilder};
 
     fn graph() -> Graph {
         // 0-1, 0-2, 1-3, 2-3, 1-4: candidates of 0 are {3, 4}.

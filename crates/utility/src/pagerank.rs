@@ -6,7 +6,7 @@
 //! stationary probability that a walk restarting at the target with
 //! probability `1 − α` sits at each candidate.
 
-use psr_graph::{Graph, NodeId};
+use psr_graph::{GraphView, NodeId};
 
 use crate::candidates::CandidateSet;
 use crate::sensitivity::Sensitivity;
@@ -35,7 +35,12 @@ impl UtilityFunction for PersonalizedPageRank {
         format!("personalized-pagerank(alpha={})", self.alpha)
     }
 
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector {
         assert!((0.0..1.0).contains(&self.alpha), "alpha must be in [0, 1)");
         let n = graph.num_nodes();
         let mut rank = vec![0.0f64; n];
@@ -80,7 +85,7 @@ impl UtilityFunction for PersonalizedPageRank {
     /// `(1−α)`-restart smoothing bound `Δ₁ ≤ 2α/(1−α)` (loose; derived from
     /// the walk-coupling argument — each visit to a flipped edge endpoint
     /// redistributes at most its transition mass).
-    fn sensitivity(&self, _graph: &Graph) -> Option<Sensitivity> {
+    fn sensitivity(&self, _graph: &dyn GraphView) -> Option<Sensitivity> {
         let a = self.alpha;
         Some(Sensitivity { l1: 2.0 * a / (1.0 - a), linf: a / (1.0 - a) })
     }
@@ -89,7 +94,7 @@ impl UtilityFunction for PersonalizedPageRank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psr_graph::{Direction, GraphBuilder};
+    use psr_graph::{Direction, Graph, GraphBuilder};
 
     fn line() -> Graph {
         GraphBuilder::new(Direction::Undirected)

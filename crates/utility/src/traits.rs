@@ -1,6 +1,6 @@
 //! The utility-function abstraction.
 
-use psr_graph::{Graph, NodeId};
+use psr_graph::{GraphView, NodeId};
 
 use crate::candidates::CandidateSet;
 use crate::sensitivity::Sensitivity;
@@ -14,29 +14,61 @@ use crate::vector::UtilityVector;
 /// (Axiom 1): utilities depend only on the graph seen from the target, not
 /// on node identities. The property tests in this crate verify this under
 /// random relabelling for every bundled implementation.
+///
+/// Utilities read their graph through [`GraphView`], so the same
+/// implementation serves an immutable CSR snapshot and a
+/// `psr_graph::DeltaGraph` mutation overlay — the differential
+/// conformance suite asserts the two agree bit-for-bit at equal edge
+/// sets.
 pub trait UtilityFunction: Send + Sync {
     /// Short stable name used in reports and benchmarks.
     fn name(&self) -> String;
 
     /// Computes the utility vector for `target` over `candidates`.
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector;
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector;
 
     /// Global sensitivity `Δf` (footnote 5) under the relaxed neighbourhood
     /// of §5/§7: graphs differing in one edge *not incident to the target*.
     /// `None` when no useful analytic bound is known (the empirical auditor
     /// still applies).
-    fn sensitivity(&self, graph: &Graph) -> Option<Sensitivity>;
+    fn sensitivity(&self, graph: &dyn GraphView) -> Option<Sensitivity>;
 
     /// The per-target edit distance `t`: how many edge alterations suffice
     /// to raise a zero-utility candidate to strictly-highest utility.
     /// Defaults to `None`; the §7.1 closed forms are provided by the
     /// concrete utilities that have them.
-    fn edit_distance_t(&self, _graph: &Graph, _target: NodeId, _u: &UtilityVector) -> Option<u64> {
+    fn edit_distance_t(
+        &self,
+        _graph: &dyn GraphView,
+        _target: NodeId,
+        _u: &UtilityVector,
+    ) -> Option<u64> {
+        None
+    }
+
+    /// How far (in undirected hops) a mutated edge's influence on this
+    /// utility reaches: after toggling edge `(x, y)`, only targets within
+    /// `radius` hops of `x` or `y` (in the pre- or post-mutation graph)
+    /// can see a different utility vector. `None` means unbounded — every
+    /// target must be treated as affected.
+    ///
+    /// The serving layer uses this to invalidate only the dirty targets'
+    /// cached candidate/utility state across epochs. Implementations must
+    /// be *conservative*: reporting a radius that is too small corrupts
+    /// caches, reporting `None` merely costs recomputation. The
+    /// differential conformance suite cross-checks the bound by diffing
+    /// per-target utilities around random mutations.
+    fn invalidation_radius(&self) -> Option<usize> {
         None
     }
 
     /// Convenience: utilities with the standard candidate policy.
-    fn utilities_for(&self, graph: &Graph, target: NodeId) -> UtilityVector {
+    fn utilities_for(&self, graph: &dyn GraphView, target: NodeId) -> UtilityVector {
         let candidates = CandidateSet::for_target(graph, target);
         self.utilities(graph, target, &candidates)
     }

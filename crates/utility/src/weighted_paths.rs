@@ -8,7 +8,7 @@
 //! brute-force cross-check.
 
 use psr_graph::algo::WalkCounter;
-use psr_graph::{Graph, NodeId};
+use psr_graph::{GraphView, NodeId};
 
 use crate::candidates::CandidateSet;
 use crate::sensitivity::Sensitivity;
@@ -42,7 +42,12 @@ impl UtilityFunction for WeightedPaths {
         format!("weighted-paths(gamma={}, len<={})", self.gamma, self.max_len)
     }
 
-    fn utilities(&self, graph: &Graph, target: NodeId, candidates: &CandidateSet) -> UtilityVector {
+    fn utilities(
+        &self,
+        graph: &dyn GraphView,
+        target: NodeId,
+        candidates: &CandidateSet,
+    ) -> UtilityVector {
         assert!(self.max_len >= 2, "weighted paths start at length 2");
         let mut counter = WalkCounter::new(graph.num_nodes());
         let walks = counter.count_from(graph, target, self.max_len);
@@ -73,7 +78,7 @@ impl UtilityFunction for WeightedPaths {
     /// `d_max` each (`Δ₁` contribution ≤ 4γ·d_max, `Δ∞` ≤ 2γ·d_max on the
     /// flipped edge's endpoints). Longer truncations scale by
     /// `(γ·d_max)^{l-3}` per extra level, summed geometrically.
-    fn sensitivity(&self, graph: &Graph) -> Option<Sensitivity> {
+    fn sensitivity(&self, graph: &dyn GraphView) -> Option<Sensitivity> {
         let d = graph.max_degree() as f64;
         let gd = self.gamma * d;
         let mut l1: f64 = 2.0;
@@ -87,8 +92,20 @@ impl UtilityFunction for WeightedPaths {
         Some(Sensitivity { l1, linf })
     }
 
+    /// Paths of length ≤ `max_len` from `r` only traverse edges whose
+    /// endpoints lie within `max_len − 1` hops of `r`, so a toggled edge
+    /// is invisible to any target further than that from both endpoints.
+    fn invalidation_radius(&self) -> Option<usize> {
+        Some(self.max_len.saturating_sub(1))
+    }
+
     /// §7.1: `t = ⌊u_max⌋ + 2` for weighted paths.
-    fn edit_distance_t(&self, _graph: &Graph, _target: NodeId, u: &UtilityVector) -> Option<u64> {
+    fn edit_distance_t(
+        &self,
+        _graph: &dyn GraphView,
+        _target: NodeId,
+        u: &UtilityVector,
+    ) -> Option<u64> {
         Some(u.u_max().floor() as u64 + 2)
     }
 }
@@ -96,7 +113,7 @@ impl UtilityFunction for WeightedPaths {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psr_graph::{Direction, GraphBuilder};
+    use psr_graph::{Direction, Graph, GraphBuilder};
 
     fn diamond_with_tail() -> Graph {
         // 0-1, 0-2, 1-3, 2-3, 3-4.

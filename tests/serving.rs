@@ -1,12 +1,15 @@
 //! Batch-serving integration: the `RecommendationService` worker pool over
 //! real preset graphs — thread-count determinism, directed candidate
-//! policy, budget enforcement, and shared-graph wiring, end to end.
+//! policy, budget enforcement, shared-graph wiring, and graph-epoch
+//! behaviour (`apply_mutations`), end to end.
 
 use std::sync::Arc;
 
 use psr_core::serving::{BatchRequest, RecommendationService, ServeError, ServiceConfig};
 use psr_core::{Recommender, RecommenderConfig};
 use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_gen::{edge_stream, rng_from_seed, StreamParams};
+use psr_graph::{EdgeMutation, GraphView, MutationOp};
 use psr_privacy::ExponentialMechanism;
 use psr_utility::{CandidateSet, CommonNeighbors, WeightedPaths};
 
@@ -21,7 +24,7 @@ fn wiki_service(threads: Option<usize>) -> RecommendationService {
 
 /// Every connected node asks for `k` recommendations.
 fn batch_for(service: &RecommendationService, k: usize) -> Vec<BatchRequest> {
-    let graph = service.graph();
+    let graph = service.shared_graph();
     graph
         .nodes()
         .filter(|&v| graph.degree(v) > 0)
@@ -60,7 +63,7 @@ fn served_recommendations_are_valid_and_distinct() {
         assert_eq!(distinct.len(), served.recommendations.len());
         for &v in &served.recommendations {
             assert_ne!(v, request.target);
-            assert!(!service.graph().has_edge(request.target, v));
+            assert!(!service.view().has_edge(request.target, v));
         }
     }
 }
@@ -124,7 +127,8 @@ fn budgets_are_enforced_per_target_across_batches() {
             ..Default::default()
         },
     );
-    let target = service.graph().nodes().find(|&v| service.graph().degree(v) > 0).unwrap();
+    let graph = service.shared_graph();
+    let target = graph.nodes().find(|&v| graph.degree(v) > 0).unwrap();
 
     // Two requests fit the budget exactly; the third must be refused, and
     // the refusal must survive across separate batches (state, not a
@@ -153,13 +157,112 @@ fn service_and_recommender_share_one_graph() {
         Box::new(ExponentialMechanism::paper()),
         RecommenderConfig::default(),
     );
-    assert!(std::ptr::eq(service.graph(), recommender.graph()));
+    assert!(std::ptr::eq(service.shared_graph().as_ref() as *const _, recommender.graph()));
 
     // Both paths serve valid recommendations from the same instance.
-    let target = service.graph().nodes().find(|&v| service.graph().degree(v) > 0).unwrap();
+    let graph = service.shared_graph();
+    let target = graph.nodes().find(|&v| graph.degree(v) > 0).unwrap();
     let served = service.serve_one(target, 1, 3).unwrap();
-    assert!(!service.graph().has_edge(target, served.recommendations[0]));
+    assert!(!service.view().has_edge(target, served.recommendations[0]));
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
     let single = recommender.recommend(target, &mut rng).unwrap();
     assert!(!recommender.graph().has_edge(target, single));
+}
+
+#[test]
+fn thread_count_determinism_survives_epochs() {
+    // The bit-identity guarantee must hold *per epoch*, with warm caches
+    // and selective invalidation in play: serve → mutate → serve must
+    // agree between a 1-worker and an 8-worker service at every step.
+    let mut one = wiki_service(Some(1));
+    let mut eight = wiki_service(Some(8));
+    let requests = batch_for(&one, 2);
+    let mutations: Vec<EdgeMutation> = {
+        let base = one.shared_graph();
+        let mut rng = rng_from_seed(2024);
+        edge_stream(&base, StreamParams { events: 40, insert_fraction: 0.6 }, &mut rng)
+            .into_iter()
+            .map(|e| e.mutation)
+            .collect()
+    };
+
+    assert_eq!(one.serve_batch(&requests, 17), eight.serve_batch(&requests, 17));
+    let ea = one.apply_mutations(&mutations).unwrap();
+    let eb = eight.apply_mutations(&mutations).unwrap();
+    assert_eq!(ea, eb, "epoch summaries must not depend on thread count");
+    assert_eq!(one.epoch(), 1);
+    assert_eq!(one.serve_batch(&requests, 18), eight.serve_batch(&requests, 18));
+    // And a fresh service over the mutated snapshot replays the post-epoch
+    // batch identically: no hidden cache or epoch state leaks into results.
+    one.reset_budgets();
+    let fresh = RecommendationService::new(
+        one.snapshot(),
+        Box::new(CommonNeighbors),
+        ServiceConfig { threads: Some(3), ..Default::default() },
+    );
+    assert_eq!(one.serve_batch(&requests, 18), fresh.serve_batch(&requests, 18));
+}
+
+#[test]
+fn budgets_stay_continuous_across_epochs() {
+    let (graph, _) = wiki_vote_like(PresetConfig::scaled(0.05, 2011)).unwrap();
+    let mut service = RecommendationService::new(
+        graph,
+        Box::new(CommonNeighbors),
+        ServiceConfig {
+            epsilon_per_request: 0.5,
+            budget_per_target: 1.5,
+            threads: Some(2),
+            ..Default::default()
+        },
+    );
+    let graph = service.shared_graph();
+    let target = graph.nodes().find(|&v| graph.degree(v) > 0).unwrap();
+
+    // Spend ⅔ of the budget in epoch 0.
+    assert!(service.serve_one(target, 1, 1).is_ok());
+    assert!(service.serve_one(target, 1, 2).is_ok());
+    assert_eq!(service.remaining_budget(target), 0.5);
+
+    // A mutation epoch must neither refund nor wipe the spend.
+    let other = graph.nodes().find(|&v| v != target && !graph.has_edge(target, v)).unwrap();
+    service.apply_mutations(&[EdgeMutation::insert(target, other)]).unwrap();
+    assert_eq!(service.remaining_budget(target), 0.5);
+
+    // The last half-ε request fits; the next is refused with the typed
+    // error, in the *new* epoch.
+    assert!(service.serve_one(target, 1, 3).is_ok());
+    match service.serve_one(target, 1, 4) {
+        Err(ServeError::BudgetExhausted { target: t, requested, remaining }) => {
+            assert_eq!(t, target);
+            assert_eq!(requested, 0.5);
+            assert!(remaining < 1e-9);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn rejected_mutation_batches_roll_back_at_scale() {
+    let mut service = wiki_service(Some(2));
+    let base = service.shared_graph();
+    let (u, v) = base.edges().next().expect("preset has edges");
+    let fresh = base.nodes().find(|&w| w != u && !base.has_edge(u, w)).unwrap();
+
+    // Insert-a-duplicate fails at index 1; the valid index-0 insert must
+    // be rolled back with it.
+    let err = service
+        .apply_mutations(&[EdgeMutation::insert(u, fresh), EdgeMutation::insert(u, v)])
+        .unwrap_err();
+    match err {
+        psr_core::serving::MutationError::Rejected { index, mutation, .. } => {
+            assert_eq!(index, 1);
+            assert_eq!(mutation.op, MutationOp::Insert);
+        }
+    }
+    assert_eq!(service.epoch(), 0);
+    assert!(!service.view().has_edge(u, fresh), "partial application leaked");
+    // Deleting a missing edge reports the typed graph error too.
+    let err = service.apply_mutations(&[EdgeMutation::delete(u, fresh)]).unwrap_err();
+    assert!(err.to_string().contains("not found"), "{err}");
 }
