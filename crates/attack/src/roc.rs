@@ -1,0 +1,321 @@
+//! Attack statistics: ROC curves, adversary advantage, and the
+//! Monte-Carlo empirical-ε estimator with Clopper–Pearson confidence.
+//!
+//! An attack run produces two score samples — one per hypothesised world.
+//! Everything downstream is threshold analysis:
+//!
+//! * the **ROC curve** sweeps a decision threshold over the pooled scores,
+//! * the **advantage** is the best `|TPR − FPR|` over thresholds (the
+//!   hypothesis-testing form of the distinguishing game; for an ε-DP
+//!   release it cannot exceed `(e^ε − 1)/(e^ε + 1)`, see
+//!   [`crate::comparison::dp_advantage_ceiling`]),
+//! * the **empirical ε** is the largest likelihood-ratio bound any
+//!   threshold test certifies: pure ε-DP forces
+//!   `P₁(S) ≤ e^ε·P₀(S)` for *every* outcome set `S`, so
+//!   `ε ≥ |ln(TPR/FPR)|` and `ε ≥ |ln(FNR/TNR)|` at every threshold. The
+//!   point estimate uses add-one smoothing; the **confidence lower
+//!   bound** replaces each rate with its one-sided Clopper–Pearson bound
+//!   (numerator lower, denominator upper), the standard conservative
+//!   construction in empirical DP auditing. Threshold selection makes
+//!   the reported lower bound mildly optimistic (a union bound over
+//!   thresholds is not applied); the suites treat it as a *diagnostic*
+//!   that must stay below the configured budget, never as a proof of DP.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold: "world 1" when `score ≥ threshold`.
+    pub threshold: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+}
+
+/// The best threshold test found for a score sample pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Advantage {
+    /// `|TPR − FPR|` of the best threshold.
+    pub advantage: f64,
+    /// The threshold achieving it.
+    pub threshold: f64,
+    /// Its true-positive rate.
+    pub tpr: f64,
+    /// Its false-positive rate.
+    pub fpr: f64,
+}
+
+/// The Monte-Carlo empirical-ε estimate for a score sample pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalEpsilon {
+    /// Add-one-smoothed point estimate: the largest
+    /// `|ln(rate ratio)|` over thresholds and both tails.
+    pub point: f64,
+    /// Clopper–Pearson-conservative lower bound at `confidence`: any
+    /// mechanism that is ε-DP with `ε < lower` would have to produce rates
+    /// outside their confidence intervals.
+    pub lower: f64,
+    /// Two-sided confidence level of `lower` (per threshold).
+    pub confidence: f64,
+    /// Trials per world the estimate was computed from.
+    pub trials_per_world: usize,
+}
+
+/// Sweeps every distinct score as a threshold and returns the ROC curve,
+/// from `(0, 0)` (threshold above every score) to `(1, 1)`.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn roc_curve(scores0: &[f64], scores1: &[f64]) -> Vec<RocPoint> {
+    assert!(!scores0.is_empty() && !scores1.is_empty(), "need scores from both worlds");
+    let mut thresholds: Vec<f64> = scores0.iter().chain(scores1).copied().collect();
+    assert!(thresholds.iter().all(|s| !s.is_nan()), "scores must not be NaN");
+    thresholds.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    thresholds.dedup();
+
+    let rate = |scores: &[f64], tau: f64| {
+        scores.iter().filter(|&&s| s >= tau).count() as f64 / scores.len() as f64
+    };
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 }];
+    for tau in thresholds {
+        points.push(RocPoint { threshold: tau, tpr: rate(scores1, tau), fpr: rate(scores0, tau) });
+    }
+    points
+}
+
+/// Area under the ROC curve via the Mann–Whitney statistic (ties count
+/// one half): the probability a random world-1 score outranks a random
+/// world-0 score.
+pub fn auc(scores0: &[f64], scores1: &[f64]) -> f64 {
+    assert!(!scores0.is_empty() && !scores1.is_empty(), "need scores from both worlds");
+    let mut wins = 0.0;
+    for &s1 in scores1 {
+        for &s0 in scores0 {
+            if s1 > s0 {
+                wins += 1.0;
+            } else if s1 == s0 {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (scores0.len() * scores1.len()) as f64
+}
+
+/// The best `|TPR − FPR|` over all thresholds — the adversary's
+/// distinguishing advantage with the orientation-free decision rule.
+pub fn best_advantage(scores0: &[f64], scores1: &[f64]) -> Advantage {
+    let mut best = Advantage { advantage: 0.0, threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 };
+    for p in roc_curve(scores0, scores1) {
+        let adv = (p.tpr - p.fpr).abs();
+        if adv > best.advantage {
+            best = Advantage { advantage: adv, threshold: p.threshold, tpr: p.tpr, fpr: p.fpr };
+        }
+    }
+    best
+}
+
+/// Exact binomial CDF `P(X ≤ k)` for `X ~ Binomial(n, p)`, accumulated in
+/// log space (stable for the `n` of any attack run).
+fn binomial_cdf(k: usize, n: usize, p: f64) -> f64 {
+    if p <= 0.0 {
+        return 1.0;
+    }
+    if p >= 1.0 {
+        return if k >= n { 1.0 } else { 0.0 };
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut log_terms = Vec::with_capacity(k + 1);
+    let mut log_coeff = 0.0; // ln C(n, 0)
+    for i in 0..=k.min(n) {
+        if i > 0 {
+            log_coeff += ((n - i + 1) as f64).ln() - (i as f64).ln();
+        }
+        log_terms.push(log_coeff + i as f64 * lp + (n - i) as f64 * lq);
+    }
+    let m = log_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = log_terms.iter().map(|&t| (t - m).exp()).sum();
+    (m + sum.ln()).exp().min(1.0)
+}
+
+/// Two-sided Clopper–Pearson interval for a binomial proportion at the
+/// given confidence, by bisection on the exact binomial CDF.
+///
+/// # Panics
+/// Panics unless `successes ≤ trials`, `trials ≥ 1` and
+/// `confidence ∈ (0, 1)`.
+pub fn clopper_pearson(successes: usize, trials: usize, confidence: f64) -> (f64, f64) {
+    assert!(trials >= 1, "need at least one trial");
+    assert!(successes <= trials, "successes {successes} > trials {trials}");
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    let alpha2 = (1.0 - confidence) / 2.0;
+
+    // Lower: the p with P(X ≥ successes; trials, p) = α/2.
+    let lower = if successes == 0 {
+        0.0
+    } else {
+        bisect(|p| 1.0 - binomial_cdf(successes - 1, trials, p) - alpha2)
+    };
+    // Upper: the p with P(X ≤ successes; trials, p) = α/2.
+    let upper = if successes == trials {
+        1.0
+    } else {
+        bisect(|p| alpha2 - binomial_cdf(successes, trials, p))
+    };
+    (lower, upper)
+}
+
+/// Finds the root of a monotone-increasing function over `p ∈ [0, 1]`.
+fn bisect(f: impl Fn(f64) -> f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Estimates the empirical ε certified by the score samples: the largest
+/// `|ln|` rate ratio over every threshold and both tails (see the module
+/// docs for the exact construction and its caveats).
+pub fn empirical_epsilon(scores0: &[f64], scores1: &[f64], confidence: f64) -> EmpiricalEpsilon {
+    assert_eq!(scores0.len(), scores1.len(), "worlds must have equal trial counts");
+    let n = scores0.len();
+    // Counts take only n + 1 distinct values, while the threshold sweep
+    // visits up to 2n points × 4 orientations — memoise the (expensive,
+    // bisection-backed) Clopper–Pearson interval per count.
+    let mut cp_cache: Vec<Option<(f64, f64)>> = vec![None; n + 1];
+    let mut cp = move |count: usize| {
+        *cp_cache[count].get_or_insert_with(|| clopper_pearson(count, n, confidence))
+    };
+    let mut point: f64 = 0.0;
+    let mut lower: f64 = 0.0;
+    for p in roc_curve(scores0, scores1) {
+        let tp = (p.tpr * n as f64).round() as usize;
+        let fp = (p.fpr * n as f64).round() as usize;
+        // The four DP constraints for the set S = {score ≥ τ} and its
+        // complement, in both directions.
+        for (num, den) in [(tp, fp), (fp, tp), (n - fp, n - tp), (n - tp, n - fp)] {
+            let smoothed = ((num as f64 + 1.0) / (den as f64 + 1.0)).ln();
+            point = point.max(smoothed);
+            let (num_lo, _) = cp(num);
+            let (_, den_hi) = cp(den);
+            if num_lo > 0.0 && den_hi > 0.0 {
+                lower = lower.max((num_lo / den_hi).ln());
+            }
+        }
+    }
+    EmpiricalEpsilon { point, lower, confidence, trials_per_world: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roc_of_separated_scores_is_perfect() {
+        let s0 = vec![0.0, 0.1, 0.2];
+        let s1 = vec![1.0, 1.1, 1.2];
+        let roc = roc_curve(&s0, &s1);
+        assert_eq!(roc.first().map(|p| (p.tpr, p.fpr)), Some((0.0, 0.0)));
+        assert_eq!(roc.last().map(|p| (p.tpr, p.fpr)), Some((1.0, 1.0)));
+        assert!((auc(&s0, &s1) - 1.0).abs() < 1e-12);
+        let adv = best_advantage(&s0, &s1);
+        assert!((adv.advantage - 1.0).abs() < 1e-12);
+        assert_eq!((adv.tpr, adv.fpr), (1.0, 0.0));
+    }
+
+    #[test]
+    fn identical_scores_have_no_advantage() {
+        let s = vec![0.3, 0.5, 0.5, 0.9];
+        assert_eq!(best_advantage(&s, &s).advantage, 0.0);
+        assert!((auc(&s, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlated_scores_still_count() {
+        // An adversary whose score points the wrong way is still a
+        // distinguisher: the orientation-free advantage sees it.
+        let s0 = vec![1.0, 1.1];
+        let s1 = vec![0.0, 0.1];
+        assert!((best_advantage(&s0, &s1).advantage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_cdf_matches_hand_values() {
+        assert!((binomial_cdf(1, 2, 0.5) - 0.75).abs() < 1e-12);
+        assert!((binomial_cdf(0, 3, 0.5) - 0.125).abs() < 1e-12);
+        assert!((binomial_cdf(5, 5, 0.3) - 1.0).abs() < 1e-12);
+        assert!((binomial_cdf(2, 4, 0.25) - 0.94921875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clopper_pearson_matches_reference_values() {
+        // Reference: R binom.test(8, 20, conf.level = 0.95) → (0.19, 0.64).
+        let (lo, hi) = clopper_pearson(8, 20, 0.95);
+        assert!((lo - 0.1911).abs() < 2e-3, "lower {lo}");
+        assert!((hi - 0.6395).abs() < 2e-3, "upper {hi}");
+        // Degenerate ends.
+        let (lo0, hi0) = clopper_pearson(0, 10, 0.95);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.2 && hi0 < 0.35, "rule-of-three-ish upper {hi0}");
+        let (lon, hin) = clopper_pearson(10, 10, 0.95);
+        assert_eq!(hin, 1.0);
+        assert!(lon > 0.65 && lon < 0.8, "lower {lon}");
+    }
+
+    #[test]
+    fn clopper_pearson_interval_covers_the_mle() {
+        for (k, n) in [(3usize, 10usize), (50, 100), (1, 200)] {
+            let (lo, hi) = clopper_pearson(k, n, 0.9);
+            let mle = k as f64 / n as f64;
+            assert!(lo <= mle && mle <= hi, "({k},{n}): [{lo},{hi}] vs {mle}");
+            let (lo99, hi99) = clopper_pearson(k, n, 0.99);
+            assert!(lo99 <= lo && hi99 >= hi, "wider at higher confidence");
+        }
+    }
+
+    #[test]
+    fn empirical_epsilon_of_identical_worlds_is_small() {
+        let s: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let est = empirical_epsilon(&s, &s, 0.95);
+        assert_eq!(est.lower, 0.0, "identical rates certify nothing");
+        assert!(est.point < 0.05, "smoothed point {}", est.point);
+    }
+
+    #[test]
+    fn empirical_epsilon_of_separated_worlds_is_large() {
+        let s0: Vec<f64> = vec![0.0; 50];
+        let s1: Vec<f64> = vec![1.0; 50];
+        let est = empirical_epsilon(&s0, &s1, 0.95);
+        assert!(est.point > 3.0, "point {}", est.point);
+        assert!(est.lower > 2.0, "lower {}", est.lower);
+        assert!(est.lower <= est.point, "lower bound below point estimate");
+    }
+
+    #[test]
+    fn empirical_epsilon_grows_with_sample_size() {
+        // Perfect separation certifies more ε the more trials back it.
+        let small = empirical_epsilon(&[0.0; 10], &[1.0; 10], 0.95);
+        let large = empirical_epsilon(&[0.0; 200], &[1.0; 200], 0.95);
+        assert!(large.lower > small.lower);
+        assert!(large.point > small.point);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal trial counts")]
+    fn empirical_epsilon_rejects_unbalanced_worlds() {
+        let _ = empirical_epsilon(&[0.0], &[1.0, 2.0], 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "need scores")]
+    fn roc_rejects_empty_samples() {
+        let _ = roc_curve(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Observation transcripts: what the adversary actually sees.
+//!
+//! The paper's lower-bound adversary (Lemma 1's constructive proof) watches
+//! the recommendations a service hands out and infers the presence of a
+//! target edge from them. A [`Transcript`] is exactly that observable: an
+//! ordered sequence of [`Observation`]s — per observer, per round, the
+//! concrete recommended node ids — and nothing else. Utility vectors,
+//! candidate sets and mechanism internals live in
+//! [`crate::model::WorldModel`], which represents the adversary's *side
+//! knowledge* of the two hypothesised graphs, not the release itself.
+
+use psr_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One observed service answer: the recommendations some observer received.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The node whose recommendations were observed.
+    pub observer: NodeId,
+    /// The number of slots the observer asked for.
+    pub k: usize,
+    /// The concrete recommended node ids, in slot order (possibly fewer
+    /// than `k` when the candidate set is smaller).
+    pub recommendations: Vec<NodeId>,
+}
+
+impl Observation {
+    /// Whether `node` appears among the recommended slots.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.recommendations.contains(&node)
+    }
+}
+
+/// An ordered sequence of observations from one run of the service — the
+/// adversary's entire input for one trial of the inference game.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transcript {
+    /// Observations in the order they were released.
+    pub entries: Vec<Observation>,
+}
+
+impl Transcript {
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the transcript is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of observations that include `node` among their slots —
+    /// the statistic behind the frequency/plurality baseline adversary.
+    pub fn appearance_frequency(&self, node: NodeId) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let hits = self.entries.iter().filter(|o| o.contains(node)).count();
+        hits as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transcript() -> Transcript {
+        Transcript {
+            entries: vec![
+                Observation { observer: 0, k: 2, recommendations: vec![3, 4] },
+                Observation { observer: 1, k: 2, recommendations: vec![3, 5] },
+                Observation { observer: 0, k: 2, recommendations: vec![6, 7] },
+            ],
+        }
+    }
+
+    #[test]
+    fn appearance_frequency_counts_entries_not_slots() {
+        let t = transcript();
+        assert_eq!(t.len(), 3);
+        assert!((t.appearance_frequency(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.appearance_frequency(9), 0.0);
+        assert_eq!(Transcript::default().appearance_frequency(3), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = transcript();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Transcript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

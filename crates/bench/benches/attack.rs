@@ -1,0 +1,97 @@
+//! Attack-subsystem benches: what the edge-inference adversaries cost.
+//!
+//! Two questions: how does the exact reconstruction adversary's scoring
+//! *scale with transcript size* (it is the per-observation likelihood
+//! walk, so it should be linear), and what throughput the Monte-Carlo
+//! harness reaches when trials are fanned *across the worker pool*
+//! (the trial loop is embarrassingly parallel; a pool must beat one
+//! worker).
+
+#![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use psr_attack::{
+    leaking_secret_edge, Adversary, AttackMechanism, EdgeInferenceScenario,
+    ReconstructionAdversary, ScenarioConfig,
+};
+use psr_bench::BENCH_SEED;
+use psr_datasets::toy::karate_club;
+use psr_graph::Graph;
+use psr_utility::CommonNeighbors;
+
+/// The karate-club scenario every attack bench runs (the acceptance
+/// suite's graph, so numbers track the tested path).
+fn scenario(rounds: usize, trials: usize, threads: usize) -> EdgeInferenceScenario {
+    let graph = Arc::new(karate_club());
+    let (secret, observers) =
+        leaking_secret_edge(&graph, &CommonNeighbors, 4, 20_000).expect("karate leaks");
+    let config = ScenarioConfig {
+        rounds,
+        trials_per_world: trials,
+        threads: Some(threads),
+        seed: BENCH_SEED,
+        mechanism: AttackMechanism::Exponential { epsilon: 0.5 },
+        ..ScenarioConfig::new(secret, observers)
+    };
+    EdgeInferenceScenario::new(Arc::clone(&graph) as Arc<Graph>, Box::new(CommonNeighbors), config)
+}
+
+/// Reconstruction scoring vs transcript length: the exact likelihood
+/// walk is O(entries), measured at 1×, 4× and 16× rounds.
+fn attack_transcript_scaling(c: &mut Criterion) {
+    for rounds in [2usize, 8, 32] {
+        let s = scenario(rounds, 8, 4);
+        let set = s.collect();
+        let (w0, w1) = s.world_models();
+        c.bench_function(format!("attack_score_reconstruction_rounds_{rounds}"), |b| {
+            b.iter(|| {
+                black_box(ReconstructionAdversary.score_all(
+                    black_box(&set.world1),
+                    black_box(w0),
+                    black_box(w1),
+                ))
+            })
+        });
+    }
+}
+
+/// Harness trial collection across the worker pool, 1 vs 4 workers on
+/// the same scenario (identical transcripts by construction).
+fn attack_harness_throughput(c: &mut Criterion) {
+    for threads in [1usize, 4] {
+        let s = scenario(4, 16, threads);
+        c.bench_function(format!("attack_collect_threads_{threads}"), |b| {
+            b.iter(|| black_box(s.collect()))
+        });
+    }
+
+    // Printed once, asserted: the pool must not *lose* to one worker on
+    // a 64-trial collection (scheduling overhead stays sub-linear).
+    let single = scenario(4, 64, 1);
+    let pooled = scenario(4, 64, 4);
+    let t0 = Instant::now();
+    let a = single.collect();
+    let single_time = t0.elapsed();
+    let t1 = Instant::now();
+    let b = pooled.collect();
+    let pooled_time = t1.elapsed();
+    assert_eq!(a, b, "thread count must not change transcripts");
+    println!(
+        "attack harness, 64 trials/world: 1 worker {single_time:?}, 4 workers {pooled_time:?} \
+         ({:.2}x)",
+        single_time.as_secs_f64() / pooled_time.as_secs_f64().max(1e-9),
+    );
+    // Generous 3x allowance: karate trials are sub-millisecond, so on a
+    // loaded low-core CI runner spawn/scheduler jitter can dominate; the
+    // assert only catches a pool that is *pathologically* slower (a
+    // serialisation bug), not ordinary noise.
+    assert!(
+        pooled_time.as_secs_f64() <= single_time.as_secs_f64() * 3.0,
+        "worker pool must not serialise the trial loop: {pooled_time:?} vs {single_time:?}"
+    );
+}
+
+criterion_group!(attack_benches, attack_transcript_scaling, attack_harness_throughput);
+criterion_main!(attack_benches);

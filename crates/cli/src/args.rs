@@ -9,6 +9,7 @@ usage:
   psr dataset <wiki|twitter> [options]
   psr recommend --target <id> [--target <id> ...] [recommend options]
   psr serve --requests <path> [serve options]
+  psr attack [attack options]     run the edge-inference adversaries
 
 recommend options:
   --input <path>    SNAP edge list to serve from (default: generated preset)
@@ -33,6 +34,29 @@ serve options (batch serving over a worker pool):
   --threads <n>     worker threads (default: all cores)
   --seed <u64>      master seed (default 42)
   --json <path>     write the JSON outcome report here instead of stdout
+
+attack options (empirical edge-inference adversaries):
+  --input, --directed, --scale, --seed  as for recommend
+  --preset <name>   karate|wiki|twitter when no --input (default karate)
+  --utility <name>  common-neighbors|weighted-paths (default common-neighbors)
+  --gamma <f64>     weighted-paths damping (default 0.005)
+  --mechanism <m>   exponential|laplace|smoothing|non-private
+                    (default exponential)
+  --epsilon <f64>   per-observation ε for exponential/laplace (default 0.5)
+  --smoothing-x <f64>  smoothing mixing weight x in [0,1) (default 0.05)
+  --adversary <a>   reconstruction|mia|frequency|all (default all)
+  --edge <u,v>      the secret edge (default: search for a pair whose
+                    insertion flips a non-private answer)
+  --observer-cap <n>  max observers watched (default 4)
+  --rounds <n>      request batches per trial (default 4)
+  --k <n>           slots per request; must be 1 for laplace/smoothing
+                    (default 1)
+  --trials <n>      Monte-Carlo trials per world (default 48)
+  --epoch <style>   static|insert|delete; insert/delete apply the secret
+                    edge through apply_mutations mid-stream (default static)
+  --prefix-rounds <n>  rounds before the mutation epoch (default 1)
+  --threads <n>     harness worker threads (default: all cores)
+  --json <path>     write the JSON attack report here instead of stdout
 
 options:
   --scale <0..1]   dataset scale relative to the paper (default 1.0)
@@ -79,6 +103,209 @@ pub enum Command {
         /// Batch-serving options.
         opts: ServeOptions,
     },
+    /// `psr attack …`
+    Attack {
+        /// Edge-inference options.
+        opts: AttackOptions,
+    },
+}
+
+/// Options for the `attack` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackOptions {
+    /// SNAP edge-list path (None = preset).
+    pub input: Option<String>,
+    /// Whether the input file is directed.
+    pub directed: bool,
+    /// Preset name when no input file (`karate` allowed here).
+    pub preset: String,
+    /// Dataset scale for generated presets.
+    pub scale: f64,
+    /// Utility function name.
+    pub utility: String,
+    /// Weighted-paths damping.
+    pub gamma: f64,
+    /// Mechanism under attack.
+    pub mechanism: String,
+    /// Per-observation ε for exponential/laplace.
+    pub epsilon: f64,
+    /// Smoothing mixing weight `x`.
+    pub smoothing_x: f64,
+    /// Which adversaries to run.
+    pub adversary: String,
+    /// The secret edge, if given explicitly.
+    pub edge: Option<(u32, u32)>,
+    /// Maximum observers watched.
+    pub observer_cap: usize,
+    /// Request batches per trial.
+    pub rounds: usize,
+    /// Slots per request.
+    pub k: usize,
+    /// Monte-Carlo trials per world.
+    pub trials: usize,
+    /// Epoch style: static|insert|delete.
+    pub epoch: String,
+    /// Rounds before the mid-stream mutation.
+    pub prefix_rounds: usize,
+    /// Harness worker threads.
+    pub threads: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON report path (stdout when absent).
+    pub json: Option<String>,
+}
+
+impl Default for AttackOptions {
+    fn default() -> Self {
+        AttackOptions {
+            input: None,
+            directed: false,
+            preset: "karate".to_owned(),
+            scale: 1.0,
+            utility: "common-neighbors".to_owned(),
+            gamma: 0.005,
+            mechanism: "exponential".to_owned(),
+            epsilon: 0.5,
+            smoothing_x: 0.05,
+            adversary: "all".to_owned(),
+            edge: None,
+            observer_cap: 4,
+            rounds: 4,
+            k: 1,
+            trials: 48,
+            epoch: "static".to_owned(),
+            prefix_rounds: 1,
+            threads: None,
+            seed: 42,
+            json: None,
+        }
+    }
+}
+
+fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
+    let mut opts = AttackOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--input" => opts.input = Some(value("--input")?.clone()),
+            "--directed" => opts.directed = true,
+            "--preset" => {
+                opts.preset = value("--preset")?.clone();
+                if !["karate", "wiki", "twitter"].contains(&opts.preset.as_str()) {
+                    return Err(format!("unknown attack preset {:?}", opts.preset));
+                }
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--utility" => {
+                opts.utility = value("--utility")?.clone();
+                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
+                    return Err(format!("unknown utility {:?}", opts.utility));
+                }
+            }
+            "--gamma" => {
+                opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--mechanism" => {
+                opts.mechanism = value("--mechanism")?.clone();
+                if !["exponential", "laplace", "smoothing", "non-private"]
+                    .contains(&opts.mechanism.as_str())
+                {
+                    return Err(format!("unknown attack mechanism {:?}", opts.mechanism));
+                }
+            }
+            "--epsilon" => {
+                opts.epsilon =
+                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
+                if opts.epsilon <= 0.0 {
+                    return Err("--epsilon must be positive".into());
+                }
+            }
+            "--smoothing-x" => {
+                opts.smoothing_x =
+                    value("--smoothing-x")?.parse().map_err(|e| format!("--smoothing-x: {e}"))?;
+                if !(0.0..1.0).contains(&opts.smoothing_x) {
+                    return Err("--smoothing-x must be in [0, 1)".into());
+                }
+            }
+            "--adversary" => {
+                opts.adversary = value("--adversary")?.clone();
+                if !["reconstruction", "mia", "frequency", "all"].contains(&opts.adversary.as_str())
+                {
+                    return Err(format!("unknown adversary {:?}", opts.adversary));
+                }
+            }
+            "--edge" => {
+                let raw = value("--edge")?;
+                let (u, v) = raw
+                    .split_once(',')
+                    .ok_or_else(|| format!("--edge expects \"u,v\", got {raw:?}"))?;
+                let u = u.trim().parse().map_err(|e| format!("--edge u: {e}"))?;
+                let v = v.trim().parse().map_err(|e| format!("--edge v: {e}"))?;
+                opts.edge = Some((u, v));
+            }
+            "--observer-cap" => {
+                opts.observer_cap =
+                    value("--observer-cap")?.parse().map_err(|e| format!("--observer-cap: {e}"))?;
+                if opts.observer_cap == 0 {
+                    return Err("--observer-cap must be at least 1".into());
+                }
+            }
+            "--rounds" => {
+                opts.rounds = value("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?;
+                if opts.rounds == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+            }
+            "--k" => {
+                opts.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?;
+                if opts.k == 0 {
+                    return Err("--k must be at least 1".into());
+                }
+            }
+            "--trials" => {
+                opts.trials = value("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+                if opts.trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+            }
+            "--epoch" => {
+                opts.epoch = value("--epoch")?.clone();
+                if !["static", "insert", "delete"].contains(&opts.epoch.as_str()) {
+                    return Err(format!("unknown epoch style {:?}", opts.epoch));
+                }
+            }
+            "--prefix-rounds" => {
+                opts.prefix_rounds = value("--prefix-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--prefix-rounds: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--json" => opts.json = Some(value("--json")?.clone()),
+            other => return Err(format!("unknown attack option {other:?}")),
+        }
+    }
+    if opts.k != 1 && ["laplace", "smoothing"].contains(&opts.mechanism.as_str()) {
+        return Err("--k must be 1 for the single-draw laplace/smoothing mechanisms".into());
+    }
+    if opts.epoch != "static" && !(1..opts.rounds).contains(&opts.prefix_rounds) {
+        return Err("--prefix-rounds must be in 1..--rounds for insert/delete epochs".into());
+    }
+    if opts.epoch == "delete" && opts.edge.is_none() {
+        return Err("--epoch delete needs an explicit --edge that exists in the graph".into());
+    }
+    Ok(opts)
 }
 
 /// Options for the `serve` subcommand.
@@ -343,6 +570,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "recommend" => Ok(Command::Recommend { opts: parse_recommend(it.as_slice())? }),
         "serve" => Ok(Command::Serve { opts: parse_serve(it.as_slice())? }),
+        "attack" => Ok(Command::Attack { opts: parse_attack(it.as_slice())? }),
         "dataset" => {
             let name = it.next().ok_or("dataset: missing name")?.clone();
             if !["wiki", "twitter"].contains(&name.as_str()) {
@@ -513,6 +741,65 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("serve --requests r.json --mutations")).is_err());
+    }
+
+    #[test]
+    fn parses_attack_with_options() {
+        let cmd = parse(&argv(
+            "attack --preset wiki --scale 0.1 --mechanism non-private --adversary mia \
+             --edge 3,9 --rounds 6 --trials 32 --epoch insert --prefix-rounds 2 \
+             --observer-cap 3 --seed 7 --json out.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Attack { opts } => {
+                assert_eq!(opts.preset, "wiki");
+                assert_eq!(opts.scale, 0.1);
+                assert_eq!(opts.mechanism, "non-private");
+                assert_eq!(opts.adversary, "mia");
+                assert_eq!(opts.edge, Some((3, 9)));
+                assert_eq!(opts.rounds, 6);
+                assert_eq!(opts.trials, 32);
+                assert_eq!(opts.epoch, "insert");
+                assert_eq!(opts.prefix_rounds, 2);
+                assert_eq!(opts.observer_cap, 3);
+                assert_eq!(opts.seed, 7);
+                assert_eq!(opts.json.as_deref(), Some("out.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attack_defaults_are_the_karate_demo() {
+        let cmd = parse(&argv("attack")).unwrap();
+        match cmd {
+            Command::Attack { opts } => {
+                assert_eq!(opts, AttackOptions::default());
+                assert_eq!(opts.preset, "karate");
+                assert_eq!(opts.mechanism, "exponential");
+                assert_eq!(opts.epsilon, 0.5);
+                assert_eq!(opts.adversary, "all");
+                assert_eq!(opts.edge, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attack_rejects_inconsistent_options() {
+        assert!(parse(&argv("attack --mechanism bogus")).is_err());
+        assert!(parse(&argv("attack --adversary bogus")).is_err());
+        assert!(parse(&argv("attack --edge 3")).is_err());
+        assert!(parse(&argv("attack --edge 3,x")).is_err());
+        assert!(parse(&argv("attack --epsilon 0")).is_err());
+        assert!(parse(&argv("attack --smoothing-x 1.0")).is_err());
+        assert!(parse(&argv("attack --mechanism laplace --k 2")).is_err());
+        assert!(parse(&argv("attack --epoch insert --rounds 2 --prefix-rounds 2")).is_err());
+        assert!(parse(&argv("attack --epoch insert --prefix-rounds 0")).is_err());
+        assert!(parse(&argv("attack --epoch delete")).is_err(), "delete needs --edge");
+        assert!(parse(&argv("attack --preset bogus")).is_err());
+        assert!(parse(&argv("attack --trials 0")).is_err());
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! `psr attack` — run the empirical edge-inference adversaries against a
+//! served graph and emit a JSON report (mirroring `serve`'s report
+//! style): per-adversary ROC, advantage, empirical ε with confidence,
+//! and the Lemma-1/Corollary-1/Theorem-5 overlays from `psr-bounds`.
+
+use std::sync::Arc;
+
+use psr_attack::{
+    default_secret_edge, leaking_secret_edge, Adversary, AttackMechanism, EdgeInferenceScenario,
+    EpochStyle, FrequencyBaseline, LikelihoodRatioMia, ReconstructionAdversary, RocPoint,
+    ScenarioConfig,
+};
+use psr_graph::io::IdMap;
+use psr_graph::{Graph, NodeId};
+use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
+use serde::Serialize;
+
+use crate::args::AttackOptions;
+
+/// The secret edge in the report, named both by compact id and by the
+/// source file's original label (identical for generated presets).
+#[derive(Debug, Serialize)]
+struct SecretEdgeRecord {
+    u: u32,
+    v: u32,
+    label_u: u64,
+    label_v: u64,
+}
+
+/// One adversary's outcome with its theory overlay.
+#[derive(Debug, Serialize)]
+struct AdversaryRecord {
+    adversary: String,
+    advantage: f64,
+    advantage_threshold: f64,
+    auc: f64,
+    empirical_epsilon: f64,
+    empirical_epsilon_lower: f64,
+    confidence: f64,
+    /// Lemma-1 advantage ceiling at the transcript budget (1.0 when
+    /// non-private).
+    advantage_ceiling: f64,
+    /// Smallest ε consistent with the measured advantage.
+    epsilon_floor: f64,
+    mean_accuracy: Option<f64>,
+    /// Corollary-1 ε floor implied by the measured accuracy.
+    accuracy_epsilon_floor: Option<f64>,
+    /// Whether the measurement is consistent with the configured budget.
+    consistent: bool,
+    roc: Vec<RocPoint>,
+}
+
+/// The full report emitted by `psr attack`.
+#[derive(Debug, Serialize)]
+struct AttackReport {
+    dataset: String,
+    utility: String,
+    mechanism: String,
+    /// Per-observation ε (None for the non-private baseline; Theorem 5's
+    /// calibration is folded into `transcript_epsilon` for smoothing).
+    epsilon_per_observation: Option<f64>,
+    /// Composed ε of one full transcript (rounds × observers).
+    transcript_epsilon: Option<f64>,
+    secret_edge: SecretEdgeRecord,
+    observers: Vec<u32>,
+    observer_labels: Vec<u64>,
+    rounds: usize,
+    k: usize,
+    trials_per_world: usize,
+    epoch_style: String,
+    adversaries: Vec<AdversaryRecord>,
+}
+
+/// Loads the attacked graph: `karate` comes from the toy module, the
+/// rest through the shared serving loader.
+fn load_graph(opts: &AttackOptions) -> (Graph, Option<IdMap>) {
+    if opts.input.is_none() && opts.preset == "karate" {
+        return (psr_datasets::toy::karate_club(), None);
+    }
+    super::load_serving_graph(
+        opts.input.as_deref(),
+        opts.directed,
+        &opts.preset,
+        opts.scale,
+        opts.seed,
+    )
+}
+
+/// Scan budget for the default secret-edge search (toggled-graph
+/// evaluations; karate needs a handful, preset graphs get a bounded
+/// prefix scan before falling back to the structural default).
+const SEARCH_BUDGET: usize = 4_000;
+
+pub fn run(opts: &AttackOptions) {
+    let (graph, ids) = load_graph(opts);
+    let graph = Arc::new(graph);
+    let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
+        "common-neighbors" => Box::new(CommonNeighbors),
+        "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
+        other => unreachable!("arg parser admits only known utilities, got {other}"),
+    };
+    let utility_name = utility.name();
+
+    let mechanism = match opts.mechanism.as_str() {
+        "exponential" => AttackMechanism::Exponential { epsilon: opts.epsilon },
+        "laplace" => AttackMechanism::Laplace { epsilon: opts.epsilon },
+        "smoothing" => AttackMechanism::Smoothing { x: opts.smoothing_x },
+        "non-private" => AttackMechanism::NonPrivateTopK,
+        other => unreachable!("arg parser admits only known mechanisms, got {other}"),
+    };
+
+    let (secret, observers) = match opts.edge {
+        Some(edge) => {
+            // Validate up front so ordinary input mistakes read as CLI
+            // errors, not library assertion panics.
+            let (u, v) = edge;
+            let n = graph.num_nodes() as u32;
+            if u == v || u >= n || v >= n {
+                panic!("--edge {u},{v}: endpoints must be two distinct nodes below {n}");
+            }
+            let exists = graph.has_edge(u, v);
+            if opts.epoch == "delete" && !exists {
+                panic!("--edge {u},{v}: --epoch delete needs an edge present in the graph");
+            }
+            if opts.epoch != "delete" && exists {
+                panic!(
+                    "--edge {u},{v}: already an edge of the graph; static/insert styles infer \
+                     an *absent* edge (use --epoch delete to attack its removal)"
+                );
+            }
+            let observers = psr_attack::default_observers(&graph, edge, opts.observer_cap);
+            if observers.is_empty() {
+                panic!("--edge {u},{v}: node {u} has no neighbours besides {v} to observe");
+            }
+            (edge, observers)
+        }
+        None => leaking_secret_edge(&graph, utility.as_ref(), opts.observer_cap, SEARCH_BUDGET)
+            .or_else(|| {
+                let secret = default_secret_edge(&graph)?;
+                let observers = psr_attack::default_observers(&graph, secret, opts.observer_cap);
+                (!observers.is_empty()).then_some((secret, observers))
+            })
+            .unwrap_or_else(|| panic!("no suitable secret edge found; pass --edge u,v")),
+    };
+
+    let epochs = match opts.epoch.as_str() {
+        "static" => EpochStyle::Static,
+        "insert" => EpochStyle::InsertMidStream { prefix_rounds: opts.prefix_rounds },
+        "delete" => EpochStyle::DeleteMidStream { prefix_rounds: opts.prefix_rounds },
+        other => unreachable!("arg parser admits only known epoch styles, got {other}"),
+    };
+
+    let config = ScenarioConfig {
+        rounds: opts.rounds,
+        k: opts.k,
+        trials_per_world: opts.trials,
+        mechanism,
+        epochs,
+        threads: opts.threads,
+        seed: opts.seed,
+        ..ScenarioConfig::new(secret, observers.clone())
+    };
+    let scenario = EdgeInferenceScenario::new(Arc::clone(&graph), utility, config);
+
+    let probe = scenario.probe();
+    let reconstruction = ReconstructionAdversary;
+    let mia = LikelihoodRatioMia::new(probe, opts.seed);
+    let frequency = FrequencyBaseline { probe };
+    let adversaries: Vec<&dyn Adversary> = match opts.adversary.as_str() {
+        "reconstruction" => vec![&reconstruction],
+        "mia" => vec![&mia],
+        "frequency" => vec![&frequency],
+        "all" => vec![&reconstruction, &mia, &frequency],
+        other => unreachable!("arg parser admits only known adversaries, got {other}"),
+    };
+
+    let set = scenario.collect();
+    let records: Vec<AdversaryRecord> = adversaries
+        .iter()
+        .map(|adversary| {
+            let result = scenario.attack(&set, *adversary);
+            let comparison = scenario.compare(&result);
+            AdversaryRecord {
+                adversary: result.adversary.clone(),
+                advantage: result.advantage.advantage,
+                advantage_threshold: result.advantage.threshold,
+                auc: result.auc,
+                empirical_epsilon: result.empirical_epsilon.point,
+                empirical_epsilon_lower: result.empirical_epsilon.lower,
+                confidence: result.empirical_epsilon.confidence,
+                advantage_ceiling: comparison.advantage_ceiling,
+                epsilon_floor: comparison.epsilon_floor,
+                mean_accuracy: comparison.mean_accuracy,
+                accuracy_epsilon_floor: comparison.accuracy_epsilon_floor,
+                consistent: comparison.consistent,
+                roc: result.roc,
+            }
+        })
+        .collect();
+
+    let label = |v: NodeId| super::original_label(ids.as_ref(), v);
+    let report = AttackReport {
+        dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
+        utility: utility_name,
+        mechanism: opts.mechanism.clone(),
+        epsilon_per_observation: match mechanism {
+            AttackMechanism::Exponential { epsilon } | AttackMechanism::Laplace { epsilon } => {
+                Some(epsilon)
+            }
+            AttackMechanism::NonPrivateTopK | AttackMechanism::Smoothing { .. } => None,
+        },
+        transcript_epsilon: scenario.transcript_epsilon(),
+        secret_edge: SecretEdgeRecord {
+            u: secret.0,
+            v: secret.1,
+            label_u: label(secret.0),
+            label_v: label(secret.1),
+        },
+        observer_labels: observers.iter().map(|&o| label(o)).collect(),
+        observers,
+        rounds: opts.rounds,
+        k: opts.k,
+        trials_per_world: opts.trials,
+        epoch_style: opts.epoch.clone(),
+        adversaries: records,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialisable");
+    match &opts.json {
+        Some(path) => {
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            let best = report.adversaries.iter().map(|a| a.advantage).fold(0.0, f64::max);
+            println!(
+                "attacked edge ({}, {}) on {} with {}: best advantage {best:.3} \
+                 (ceiling {:.3}) -> {path}",
+                report.secret_edge.label_u,
+                report.secret_edge.label_v,
+                report.dataset,
+                report.mechanism,
+                report.adversaries.first().map_or(1.0, |a| a.advantage_ceiling),
+            );
+        }
+        None => println!("{json}"),
+    }
+}

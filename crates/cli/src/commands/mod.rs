@@ -1,5 +1,6 @@
 //! Command implementations.
 
+mod attack_cmd;
 mod bounds_cmd;
 mod claims_cmd;
 mod dataset_cmd;
@@ -8,6 +9,7 @@ mod recommend_cmd;
 mod serve_cmd;
 
 use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_graph::io::IdMap;
 use psr_graph::{Direction, Graph};
 
 use crate::args::Command;
@@ -21,28 +23,39 @@ pub fn run(cmd: Command) {
         Command::Dataset { name, opts } => dataset_cmd::run(&name, &opts),
         Command::Recommend { opts } => recommend_cmd::run(&opts),
         Command::Serve { opts } => serve_cmd::run(&opts),
+        Command::Attack { opts } => attack_cmd::run(&opts),
     }
 }
 
 /// Loads the graph a serving command works on: a SNAP edge list when
-/// `input` is given, a generated preset otherwise. Shared by `recommend`
-/// and `serve`.
+/// `input` is given (with the file's original node labels as an
+/// [`IdMap`]), a generated preset otherwise (compact ids are the only
+/// labels, so no map). Shared by `recommend`, `serve` and `attack`.
 pub(crate) fn load_serving_graph(
     input: Option<&str>,
     directed: bool,
     preset: &str,
     scale: f64,
     seed: u64,
-) -> Graph {
+) -> (Graph, Option<IdMap>) {
     if let Some(path) = input {
         let direction = if directed { Direction::Directed } else { Direction::Undirected };
-        return psr_datasets::load_snap(std::path::Path::new(path), direction)
+        let (graph, ids) = psr_datasets::load_snap(std::path::Path::new(path), direction)
             .unwrap_or_else(|e| panic!("loading {path}: {e}"));
+        return (graph, Some(ids));
     }
     let preset_config = PresetConfig::scaled(scale, seed);
-    match preset {
+    let graph = match preset {
         "wiki" => wiki_vote_like(preset_config).expect("generation").0,
         "twitter" => twitter_like(preset_config).expect("generation").0,
         other => unreachable!("arg parser admits only known presets, got {other}"),
-    }
+    };
+    (graph, None)
+}
+
+/// Renders a compact node id under an optional [`IdMap`]: the original
+/// label when the graph came from a file, the compact id itself
+/// otherwise.
+pub(crate) fn original_label(ids: Option<&IdMap>, node: psr_graph::NodeId) -> u64 {
+    ids.map_or(node as u64, |m| m.original(node))
 }

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 use crate::args::RecommendOptions;
 
 pub fn run(opts: &RecommendOptions) {
-    let graph = super::load_serving_graph(
+    let (graph, ids) = super::load_serving_graph(
         opts.input.as_deref(),
         opts.directed,
         &opts.preset,
@@ -49,7 +49,9 @@ pub fn run(opts: &RecommendOptions) {
                 let acc = recommender
                     .expected_accuracy(target, &mut rng)
                     .map_or("n/a".to_owned(), |a| format!("{a:.3}"));
-                println!("  {target:>8}: recommend {v} (expected accuracy {acc})");
+                // Name the pick by its source-file label when one exists.
+                let label = super::original_label(ids.as_ref(), v);
+                println!("  {target:>8}: recommend {label} (expected accuracy {acc})");
             }
             None => println!("  {target:>8}: no candidates (fully connected target)"),
         }

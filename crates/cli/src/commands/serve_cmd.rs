@@ -100,7 +100,7 @@ pub fn run(opts: &ServeOptions) {
         None => Vec::new(),
     };
 
-    let graph = super::load_serving_graph(
+    let (graph, _ids) = super::load_serving_graph(
         opts.input.as_deref(),
         opts.directed,
         &opts.preset,

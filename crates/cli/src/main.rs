@@ -10,11 +10,19 @@
 //! psr recommend --target <id> [--target <id> ...] [--mechanism M] [--epsilon E]
 //! psr serve --requests <reqs.json> [--epsilon E] [--budget B] [--threads N]
 //!           [--json PATH]
+//! psr attack [--preset karate|wiki|twitter] [--mechanism M] [--epsilon E]
+//!            [--adversary A] [--edge u,v] [--epoch static|insert|delete]
+//!            [--json PATH]
 //! ```
 //!
 //! `serve` reads a JSON array of `{"target": N, "k": M}` requests, answers
 //! them in one batch over a shared-graph worker pool with per-target
 //! ε-budget accounting, and emits a JSON report (stdout, or `--json PATH`).
+//!
+//! `attack` runs the empirical edge-inference adversaries (`psr-attack`)
+//! against the chosen mechanism and emits a JSON report of per-adversary
+//! ROC curves, advantage, and empirical-ε estimates overlaid on the
+//! Lemma-1/Corollary-1/Theorem-5 bounds.
 
 mod args;
 mod commands;

@@ -24,16 +24,20 @@ pub use presets::{twitter_like, wiki_vote_like, PresetConfig};
 
 use std::path::Path;
 
+use psr_graph::io::IdMap;
 use psr_graph::{Direction, Graph, Result};
 
 /// Loads a SNAP-format edge list from disk (comments with `#`, whitespace
 /// separated pairs, arbitrary ids), compacting node ids. Use
 /// `Direction::Undirected` for `wiki-Vote.txt` to apply the paper's
 /// symmetrisation.
-pub fn load_snap(path: &Path, direction: Direction) -> Result<Graph> {
+///
+/// The returned [`IdMap`] recovers the file's original node labels from
+/// compact ids — attack and serving reports use it to name nodes the way
+/// the source data does instead of by internal index.
+pub fn load_snap(path: &Path, direction: Direction) -> Result<(Graph, IdMap)> {
     let file = std::fs::File::open(path)?;
-    let (graph, _ids) = psr_graph::io::read_edge_list(file, direction)?;
-    Ok(graph)
+    psr_graph::io::read_edge_list(file, direction)
 }
 
 #[cfg(test)]
@@ -45,10 +49,12 @@ mod tests {
         let dir = std::env::temp_dir().join("psr-datasets-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("sample.txt");
-        std::fs::write(&path, "# comment\n0 1\n1 2\n2 0\n").unwrap();
-        let g = load_snap(&path, Direction::Undirected).unwrap();
+        std::fs::write(&path, "# comment\n10 21\n21 32\n32 10\n").unwrap();
+        let (g, ids) = load_snap(&path, Direction::Undirected).unwrap();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 3);
+        // Original labels survive the id compaction, in first-seen order.
+        assert_eq!((ids.original(0), ids.original(1), ids.original(2)), (10, 21, 32));
         std::fs::remove_file(&path).ok();
     }
 

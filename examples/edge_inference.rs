@@ -1,0 +1,107 @@
+//! Edge inference on the karate club: watching recommendations reveals
+//! your friendships — unless the mechanism is differentially private.
+//!
+//! The demo plays the paper's Lemma-1 game end to end. A secret edge
+//! `(u, v)` either exists or not; an adversary watches the
+//! recommendations served to a handful of `u`'s friends (never to `u` or
+//! `v` themselves) and guesses. Two services answer through the *same*
+//! `RecommendationService` code path:
+//!
+//! * the **non-private top-k baseline** (a huge ε): its answers are
+//!   deterministic, so a few rounds identify the world at high
+//!   confidence — advantage far above what *any* ε ≤ 1 DP mechanism
+//!   could permit;
+//! * the **ε = 0.5 Exponential mechanism**: its single-observation
+//!   advantage stays near the Lemma-1 ceiling `(e^ε − 1)/(e^ε + 1)`, and
+//!   the empirical-ε estimate (with its Clopper–Pearson lower bound)
+//!   stays at or below the configured budget.
+//!
+//! Run with `cargo run --release --example edge_inference`.
+
+use std::sync::Arc;
+
+use psr_attack::{
+    dp_advantage_ceiling, leaking_secret_edge, AttackMechanism, EdgeInferenceScenario,
+    ReconstructionAdversary, ScenarioConfig,
+};
+use psr_datasets::toy::karate_club;
+use psr_utility::CommonNeighbors;
+
+fn main() {
+    let graph = Arc::new(karate_club());
+    let (secret, observers) =
+        leaking_secret_edge(&graph, &CommonNeighbors, 4, 20_000).expect("karate leaks");
+    println!("karate club, {} nodes / {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "secret edge: ({}, {});  observers (friends of {}): {:?}\n",
+        secret.0, secret.1, secret.0, observers
+    );
+
+    // --- The non-private baseline: a few rounds give the edge away. ---
+    let non_private = EdgeInferenceScenario::new(
+        Arc::clone(&graph),
+        Box::new(CommonNeighbors),
+        ScenarioConfig {
+            rounds: 6,
+            trials_per_world: 48,
+            mechanism: AttackMechanism::NonPrivateTopK,
+            seed: 2011,
+            ..ScenarioConfig::new(secret, observers.clone())
+        },
+    );
+    let np = non_private.attack(&non_private.collect(), &ReconstructionAdversary);
+    let np_cmp = non_private.compare(&np);
+    let ceiling_at_one = dp_advantage_ceiling(1.0);
+    println!("non-private top-k baseline (6 rounds x {} observers):", observers.len());
+    println!("  mean accuracy            {:.4}", np_cmp.mean_accuracy.unwrap_or(f64::NAN));
+    println!("  adversary advantage      {:.4}", np.advantage.advantage);
+    println!("  Lemma-1 ceiling at eps=1 {ceiling_at_one:.4}");
+    println!(
+        "  empirical eps            {:.3} (certified lower bound {:.3} at {:.0}% confidence)",
+        np.empirical_epsilon.point,
+        np.empirical_epsilon.lower,
+        100.0 * np.empirical_epsilon.confidence
+    );
+    assert!(
+        np.advantage.advantage > ceiling_at_one,
+        "the baseline must leak past the ceiling for every eps <= 1"
+    );
+    println!(
+        "  => the observed leak is incompatible with *any* eps <= 1 DP mechanism\n     \
+         (accuracy {:.3} alone implies eps >= {:.1} via Corollary 1)\n",
+        np_cmp.mean_accuracy.unwrap_or(f64::NAN),
+        np_cmp.accuracy_epsilon_floor.unwrap_or(f64::INFINITY),
+    );
+
+    // --- The DP mechanism: one observation, eps = 0.5 of budget. ---
+    let eps = 0.5;
+    let private = EdgeInferenceScenario::new(
+        Arc::clone(&graph),
+        Box::new(CommonNeighbors),
+        ScenarioConfig {
+            observers: observers[..1].to_vec(),
+            rounds: 1,
+            trials_per_world: 64,
+            mechanism: AttackMechanism::Exponential { epsilon: eps },
+            seed: 2011,
+            ..ScenarioConfig::new(secret, observers.clone())
+        },
+    );
+    let dp = private.attack(&private.collect(), &ReconstructionAdversary);
+    let ceiling = dp_advantage_ceiling(eps);
+    println!("exponential mechanism, eps = {eps}, one observation per trial:");
+    println!("  adversary advantage      {:.4}", dp.advantage.advantage);
+    println!("  Lemma-1 ceiling at eps   {ceiling:.4}");
+    println!(
+        "  empirical eps            {:.3} (certified lower bound {:.3})",
+        dp.empirical_epsilon.point, dp.empirical_epsilon.lower
+    );
+    assert!(
+        dp.empirical_epsilon.lower <= eps,
+        "the certified leak must stay within the configured budget"
+    );
+    println!(
+        "  => the strongest (Neyman-Pearson) adversary stays at the ceiling: the\n     \
+         mechanism leaks exactly what eps = {eps} permits, and no more"
+    );
+}
