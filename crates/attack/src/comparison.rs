@@ -17,6 +17,12 @@
 //! * **Theorem 5.** The smoothing mechanism's configured ε is
 //!   `ln(1 + nx/(1−x))` from `psr_bounds::theorem5`, so its empirical ε
 //!   is compared against the calibration the theory assigns it.
+//! * **Appendix A / node adjacency.** For node-neighbouring graphs the
+//!   exchange argument needs only `t = 2` steps, so accuracy forces
+//!   `ε ≥ node_privacy_eps_lower(n, β)` (asymptotically `ln(n)/2`).
+//!   [`compare_node`] overlays a node-identity measurement on those
+//!   floors next to the Lemma-1 curves, with the Corollary-1 accuracy
+//!   floor evaluated at `t = t_node_privacy()`.
 
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +84,35 @@ pub fn lemma1_epsilon_floor_from_accuracy(u: &UtilityVector, accuracy: f64, t: u
     Some(0.5 * (lo + hi))
 }
 
+/// Which neighbouring-graph notion a scenario plays (Definition 1 vs
+/// Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjacency {
+    /// Edge adjacency: the worlds differ in one edge (`t = 1`).
+    Edge,
+    /// Node adjacency: the worlds differ in one node's entire edge set
+    /// (`t = t_node_privacy() = 2` for the exchange argument).
+    Node,
+}
+
+impl Adjacency {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Adjacency::Edge => "edge",
+            Adjacency::Node => "node",
+        }
+    }
+
+    /// The edit distance the Corollary-1 accuracy floor is evaluated at.
+    fn accuracy_t(&self) -> u64 {
+        match self {
+            Adjacency::Edge => 1,
+            Adjacency::Node => psr_bounds::edit_distance::t_node_privacy(),
+        }
+    }
+}
+
 /// One attack result overlaid on the theory: what the mechanism was
 /// configured to guarantee, what the bounds allow at that configuration,
 /// and what the adversary actually achieved.
@@ -85,6 +120,8 @@ pub fn lemma1_epsilon_floor_from_accuracy(u: &UtilityVector, accuracy: f64, t: u
 pub struct BoundsComparison {
     /// Adversary name the empirical side comes from.
     pub adversary: String,
+    /// Which adjacency notion the scenario plays: `"edge"` or `"node"`.
+    pub adjacency: String,
     /// Transcript-level ε budget of the scenario (`None` for the
     /// non-private baseline): per-request ε summed over every observation
     /// of a transcript by basic composition.
@@ -105,8 +142,17 @@ pub struct BoundsComparison {
     pub mean_accuracy: Option<f64>,
     /// Lemma-1 ε floor implied by the measured accuracy on a
     /// representative observer's utility vector (`None` when the bound is
-    /// not binding or no accuracy was measurable).
+    /// not binding or no accuracy was measurable). Evaluated at the edit
+    /// distance of the scenario's adjacency notion (`t = 1` for edge,
+    /// `t = 2` for node).
     pub accuracy_epsilon_floor: Option<f64>,
+    /// Appendix A's finite-`n` node-privacy floor
+    /// `node_privacy_eps_lower(n, 1)` — what *any* constant-accuracy
+    /// node-DP recommender must exceed. `None` for edge adjacency.
+    pub node_epsilon_lower: Option<f64>,
+    /// Appendix A's asymptotic floor `ln(n)/2`. `None` for edge
+    /// adjacency.
+    pub node_epsilon_lower_asymptotic: Option<f64>,
     /// Whether the measurement is consistent with the configured ε: the
     /// empirical-ε lower bound and the advantage stay at or below what
     /// the configured budget allows. Always `true` for the non-private
@@ -126,11 +172,44 @@ pub fn compare(
     configured_epsilon: Option<f64>,
     representative: Option<&UtilityVector>,
 ) -> BoundsComparison {
+    compare_adjacency(result, configured_epsilon, representative, Adjacency::Edge, None)
+}
+
+/// Overlays a node-identity [`AttackResult`] on the theoretical curves:
+/// the Lemma-1 machinery of [`compare`] plus Appendix A's node-privacy
+/// floors at the scenario's graph size (`β = 1`, the concentrated-utility
+/// worst case), with the Corollary-1 accuracy floor evaluated at
+/// `t = t_node_privacy()`.
+pub fn compare_node(
+    result: &AttackResult,
+    configured_epsilon: Option<f64>,
+    representative: Option<&UtilityVector>,
+    num_nodes: usize,
+) -> BoundsComparison {
+    compare_adjacency(result, configured_epsilon, representative, Adjacency::Node, Some(num_nodes))
+}
+
+fn compare_adjacency(
+    result: &AttackResult,
+    configured_epsilon: Option<f64>,
+    representative: Option<&UtilityVector>,
+    adjacency: Adjacency,
+    num_nodes: Option<usize>,
+) -> BoundsComparison {
     let advantage = result.advantage.advantage;
     let advantage_ceiling = configured_epsilon.map_or(1.0, dp_advantage_ceiling);
     let accuracy_epsilon_floor = match (result.mean_accuracy, representative) {
-        (Some(acc), Some(u)) if !u.is_all_zero() => lemma1_epsilon_floor_from_accuracy(u, acc, 1),
+        (Some(acc), Some(u)) if !u.is_all_zero() => {
+            lemma1_epsilon_floor_from_accuracy(u, acc, adjacency.accuracy_t())
+        }
         _ => None,
+    };
+    let (node_epsilon_lower, node_epsilon_lower_asymptotic) = match (adjacency, num_nodes) {
+        (Adjacency::Node, Some(n)) => (
+            Some(psr_bounds::node_privacy::node_privacy_eps_lower(n, 1)),
+            Some(psr_bounds::node_privacy::node_privacy_eps_lower_asymptotic(n)),
+        ),
+        _ => (None, None),
     };
     // Statistical slack on the consistency verdict: the CP lower bound is
     // conservative by construction, so it is compared exactly; the raw
@@ -141,6 +220,7 @@ pub fn compare(
     };
     BoundsComparison {
         adversary: result.adversary.clone(),
+        adjacency: adjacency.name().to_owned(),
         configured_epsilon,
         advantage_ceiling,
         advantage,
@@ -149,6 +229,8 @@ pub fn compare(
         empirical_epsilon_lower: result.empirical_epsilon.lower,
         mean_accuracy: result.mean_accuracy,
         accuracy_epsilon_floor,
+        node_epsilon_lower,
+        node_epsilon_lower_asymptotic,
         consistent,
     }
 }
@@ -199,6 +281,39 @@ mod tests {
         assert!((ceiling - 0.99).abs() < 1e-6, "bisection lands on the curve: {ceiling}");
         // …while terrible accuracy is admitted even at ε = 0.
         assert_eq!(lemma1_epsilon_floor_from_accuracy(&u, 0.001, 1), None);
+    }
+
+    #[test]
+    fn node_overlay_carries_the_appendix_a_floors() {
+        use crate::roc::{empirical_epsilon, roc_curve};
+        let (s0, s1) = (vec![0.0, 0.1], vec![1.0, 1.1]);
+        let result = crate::harness::AttackResult {
+            adversary: "reconstruction".to_owned(),
+            roc: roc_curve(&s0, &s1),
+            auc: crate::roc::auc(&s0, &s1),
+            advantage: crate::roc::best_advantage(&s0, &s1),
+            empirical_epsilon: empirical_epsilon(&s0, &s1, 0.95),
+            mean_accuracy: Some(1.0),
+            scores_world0: s0,
+            scores_world1: s1,
+        };
+        let u = UtilityVector::from_sparse(vec![(0, 3.0), (1, 2.0)], 95);
+        let edge = compare(&result, None, Some(&u));
+        assert_eq!(edge.adjacency, "edge");
+        assert_eq!(edge.node_epsilon_lower, None);
+        let node = compare_node(&result, None, Some(&u), 7_115);
+        assert_eq!(node.adjacency, "node");
+        let n = 7_115usize;
+        assert_eq!(
+            node.node_epsilon_lower,
+            Some(psr_bounds::node_privacy::node_privacy_eps_lower(n, 1))
+        );
+        assert_eq!(node.node_epsilon_lower_asymptotic, Some((n as f64).ln() / 2.0));
+        // The accuracy floor relaxes from t = 1 to t = 2 but stays
+        // binding for perfect accuracy on a 97-candidate vector.
+        let (ef, nf) = (edge.accuracy_epsilon_floor.unwrap(), node.accuracy_epsilon_floor.unwrap());
+        assert!(nf < ef, "t = 2 floor {nf} must sit below the t = 1 floor {ef}");
+        assert!(nf > 0.0);
     }
 
     #[test]

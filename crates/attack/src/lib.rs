@@ -26,6 +26,10 @@
 //!   through real [`psr_core::serving::RecommendationService`] batches,
 //!   including `DeltaGraph` mutation epochs ("does an edge insert leak
 //!   through incremental re-serving?"), parallel across a worker pool.
+//! * [`node`] — the Appendix-A game on the same engine: two worlds
+//!   differing in one node's *entire* edge set (a `rewire_node` batch),
+//!   statically or applied mid-stream as a real mutation epoch, overlaid
+//!   on the `ε ≥ ln(n)/2` node-privacy floors.
 //! * [`roc`] — what gets measured: ROC curves, adversary advantage and a
 //!   Monte-Carlo empirical-ε estimator with Clopper–Pearson confidence.
 //! * [`comparison`] — what theory says about it: Lemma 1's advantage
@@ -63,6 +67,7 @@ pub mod adversary;
 pub mod comparison;
 pub mod harness;
 pub mod model;
+pub mod node;
 pub mod roc;
 pub mod transcript;
 
@@ -70,14 +75,18 @@ pub use adversary::{
     Adversary, FrequencyBaseline, LikelihoodRatioMia, ReconstructionAdversary, SCORE_CLAMP,
 };
 pub use comparison::{
-    compare, dp_advantage_ceiling, epsilon_floor_from_advantage,
-    lemma1_epsilon_floor_from_accuracy, BoundsComparison,
+    compare, compare_node, dp_advantage_ceiling, epsilon_floor_from_advantage,
+    lemma1_epsilon_floor_from_accuracy, Adjacency, BoundsComparison,
 };
 pub use harness::{
     default_observers, default_secret_edge, leaking_secret_edge, AttackMechanism, AttackResult,
     EdgeInferenceScenario, EpochStyle, ScenarioConfig, TranscriptSet, NON_PRIVATE_EPSILON,
 };
 pub use model::{MechanismModel, ObservationModel, WorldModel};
+pub use node::{
+    default_rewire_target, leaking_node_rewire, node_observers, NodeEpochStyle,
+    NodeIdentityScenario, NodeScenarioConfig,
+};
 pub use roc::{
     auc, best_advantage, clopper_pearson, empirical_epsilon, roc_curve, Advantage,
     EmpiricalEpsilon, RocPoint,

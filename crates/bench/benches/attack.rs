@@ -1,11 +1,14 @@
-//! Attack-subsystem benches: what the edge-inference adversaries cost.
+//! Attack-subsystem benches: what the inference adversaries cost.
 //!
-//! Two questions: how does the exact reconstruction adversary's scoring
+//! Three questions: how does the exact reconstruction adversary's scoring
 //! *scale with transcript size* (it is the per-observation likelihood
-//! walk, so it should be linear), and what throughput the Monte-Carlo
+//! walk, so it should be linear), what throughput the Monte-Carlo
 //! harness reaches when trials are fanned *across the worker pool*
 //! (the trial loop is embarrassingly parallel; a pool must beat one
-//! worker).
+//! worker), and what the node-identity game adds on top of the edge game
+//! (same engine, bigger hypothesis gap: transcript collection and
+//! scoring must stay linear in rounds despite the whole-neighbourhood
+//! rewire).
 
 #![allow(missing_docs)] // `criterion_main!` expands an undocumented `fn main`
 use std::sync::Arc;
@@ -13,8 +16,9 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use psr_attack::{
-    leaking_secret_edge, Adversary, AttackMechanism, EdgeInferenceScenario,
-    ReconstructionAdversary, ScenarioConfig,
+    leaking_node_rewire, leaking_secret_edge, Adversary, AttackMechanism, EdgeInferenceScenario,
+    NodeEpochStyle, NodeIdentityScenario, NodeScenarioConfig, ReconstructionAdversary,
+    ScenarioConfig,
 };
 use psr_bench::BENCH_SEED;
 use psr_datasets::toy::karate_club;
@@ -93,5 +97,56 @@ fn attack_harness_throughput(c: &mut Criterion) {
     );
 }
 
-criterion_group!(attack_benches, attack_transcript_scaling, attack_harness_throughput);
+/// The karate node-identity scenario (the acceptance suite's leaking
+/// rewire), statically or across a mid-stream rewire epoch.
+fn node_scenario(rounds: usize, trials: usize, epochs: NodeEpochStyle) -> NodeIdentityScenario {
+    let graph = Arc::new(karate_club());
+    let (node, new, observers) =
+        leaking_node_rewire(&graph, &CommonNeighbors, 4, 20_000).expect("karate leaks");
+    let config = NodeScenarioConfig {
+        rounds,
+        trials_per_world: trials,
+        threads: Some(4),
+        seed: BENCH_SEED,
+        mechanism: AttackMechanism::Exponential { epsilon: 0.5 },
+        epochs,
+        ..NodeScenarioConfig::new(node, new, observers)
+    };
+    NodeIdentityScenario::new(Arc::clone(&graph) as Arc<Graph>, Box::new(CommonNeighbors), config)
+}
+
+/// Node-world transcript collection and scoring vs transcript length:
+/// the rewire multiplies the hypothesis *gap*, not the per-observation
+/// cost, so both must stay linear in rounds like the edge game.
+fn node_attack_transcript_scaling(c: &mut Criterion) {
+    for rounds in [2usize, 8] {
+        let s = node_scenario(rounds, 8, NodeEpochStyle::Static);
+        c.bench_function(format!("node_attack_collect_rounds_{rounds}"), |b| {
+            b.iter(|| black_box(s.collect()))
+        });
+        let set = s.collect();
+        let (w0, w1) = s.world_models();
+        c.bench_function(format!("node_attack_score_reconstruction_rounds_{rounds}"), |b| {
+            b.iter(|| {
+                black_box(ReconstructionAdversary.score_all(
+                    black_box(&set.world1),
+                    black_box(w0),
+                    black_box(w1),
+                ))
+            })
+        });
+    }
+
+    // The rewire epoch pays the apply_mutations + selective-invalidation
+    // path inside every world-1 trial; measure it against static worlds.
+    let epoch = node_scenario(4, 8, NodeEpochStyle::RewireMidStream { prefix_rounds: 1 });
+    c.bench_function("node_attack_collect_rewire_epoch", |b| b.iter(|| black_box(epoch.collect())));
+}
+
+criterion_group!(
+    attack_benches,
+    attack_transcript_scaling,
+    attack_harness_throughput,
+    node_attack_transcript_scaling
+);
 criterion_main!(attack_benches);

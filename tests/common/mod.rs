@@ -1,0 +1,25 @@
+//! Shared fixtures for the root attack conformance suites
+//! (`tests/attack.rs`, `tests/node_privacy.rs`).
+
+use proptest::prelude::*;
+use psr_graph::{Direction, Graph, GraphBuilder};
+
+/// Strategy: a random connected-ish undirected ER graph on `n` nodes.
+pub fn random_graph(n: u32, extra_edges: usize) -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0..n, 0..n), n as usize..n as usize + extra_edges).prop_map(
+        move |pairs| {
+            let mut builder = GraphBuilder::new(Direction::Undirected);
+            // A Hamiltonian-ish spine keeps most nodes usable as
+            // observers; random pairs add structure.
+            for v in 1..n {
+                builder.push_edge(v - 1, v);
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    builder.push_edge(u, v);
+                }
+            }
+            builder.with_num_nodes(n as usize).build().expect("simple graph")
+        },
+    )
+}
