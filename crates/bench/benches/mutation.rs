@@ -12,18 +12,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use psr_bench::BENCH_SEED;
+use psr_bench::{ba_graph_10k, BA_NODES as NODES, BENCH_SEED};
 use psr_core::serving::{BatchRequest, RecommendationService, ServiceConfig};
-use psr_gen::{ba_undirected, edge_stream, rng_from_seed, BaParams, StreamParams};
+use psr_gen::{edge_stream, rng_from_seed, StreamParams};
 use psr_graph::{DeltaGraph, EdgeMutation, Graph, GraphView};
 use psr_utility::CommonNeighbors;
 
-const NODES: usize = 10_000;
-
-/// The 10k-node BA base every mutation bench runs against.
+/// The 10k-node BA base every mutation bench runs against (shared with
+/// the serving engine comparison — see `psr_bench::ba_graph_10k`).
 fn ba_base() -> Graph {
-    let mut rng = rng_from_seed(BENCH_SEED);
-    ba_undirected(BaParams { n: NODES, target_edges: 5 * NODES }, &mut rng).expect("generation")
+    ba_graph_10k()
 }
 
 /// A valid mutation batch over `base` (edge-stream events, timestamps

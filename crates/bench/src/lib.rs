@@ -6,10 +6,24 @@
 //! comparable across runs.
 
 use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use psr_gen::{ba_undirected, rng_from_seed, BaParams};
 use psr_graph::Graph;
+
+pub mod snapshot;
 
 /// Seed used by every benchmark fixture.
 pub const BENCH_SEED: u64 = 2011;
+
+/// Node count of the [`ba_graph_10k`] preset.
+pub const BA_NODES: usize = 10_000;
+
+/// The 10k-node Barabási–Albert preset shared by the mutation and
+/// engine-comparison benches (mean degree 10).
+pub fn ba_graph_10k() -> Graph {
+    let mut rng = rng_from_seed(BENCH_SEED);
+    ba_undirected(BaParams { n: BA_NODES, target_edges: 5 * BA_NODES }, &mut rng)
+        .expect("generation")
+}
 
 /// Full-scale Wikipedia-vote-like fixture (7,115 nodes).
 pub fn wiki_graph() -> Graph {

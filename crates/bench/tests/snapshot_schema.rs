@@ -1,0 +1,118 @@
+//! Schema gate for the committed `BENCH_*.json` perf snapshots.
+//!
+//! The snapshots are produced by real bench runs (`cargo bench -p
+//! psr-bench --bench serving` / `--bench kernels`) and committed at the
+//! repository root as the perf baseline. CI cannot re-time them reliably,
+//! but it can — cheaply and deterministically — check that the committed
+//! artifacts are well-formed, cover every case the benches emit, and
+//! still record the optimised kernels winning their baselines. A bench
+//! rename or a regression snapshot fails here before it lands.
+
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct Snapshot {
+    bench: String,
+    git_sha: String,
+    date: String,
+    cases: Vec<Case>,
+}
+
+#[derive(Debug, Deserialize)]
+struct Case {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn load(bench: &str) -> Snapshot {
+    let path = psr_bench::snapshot::repo_root().join(format!("BENCH_{bench}.json"));
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed snapshot {}: {e}", path.display()));
+    let snapshot: Snapshot =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+    assert_eq!(snapshot.bench, bench, "snapshot names the wrong bench");
+    assert_eq!(snapshot.git_sha.len(), 40, "git_sha must be a full commit SHA");
+    assert!(snapshot.git_sha.bytes().all(|b| b.is_ascii_hexdigit()), "{}", snapshot.git_sha);
+    let date = snapshot.date.as_bytes();
+    assert!(
+        date.len() == 10 && date[4] == b'-' && date[7] == b'-',
+        "date must be YYYY-MM-DD, got {}",
+        snapshot.date
+    );
+    for case in &snapshot.cases {
+        assert!(
+            case.median_ns.is_finite() && case.median_ns > 0.0,
+            "{}: bad median {}",
+            case.id,
+            case.median_ns
+        );
+        assert!(
+            case.min_ns <= case.median_ns && case.median_ns <= case.max_ns,
+            "{}: min {} / median {} / max {} out of order",
+            case.id,
+            case.min_ns,
+            case.median_ns,
+            case.max_ns
+        );
+    }
+    snapshot
+}
+
+fn median(snapshot: &Snapshot, id: &str) -> f64 {
+    snapshot
+        .cases
+        .iter()
+        .find(|c| c.id == id)
+        .unwrap_or_else(|| panic!("snapshot {} is missing case {id}", snapshot.bench))
+        .median_ns
+}
+
+#[test]
+fn serving_snapshot_covers_every_case() {
+    let snapshot = load("serving");
+    for id in [
+        "serving_k1/batch_pool",
+        "serving_k1/sequential_recommender",
+        "serving_k5/batch_pool",
+        "serving_k5/sequential_recommender",
+        "serving_topk_peel/k1",
+        "serving_topk_peel/k8",
+        "serving_topk_peel/k32",
+        "serving_topk_gumbel/k1",
+        "serving_topk_gumbel/k8",
+        "serving_topk_gumbel/k32",
+        "serving_engines_ba10k/peel_k5",
+        "serving_engines_ba10k/gumbel_k5",
+    ] {
+        median(&snapshot, id);
+    }
+}
+
+#[test]
+fn serving_snapshot_shows_gumbel_beating_peel_at_large_k() {
+    // The committed run must record the one-pass engine winning where the
+    // peel's O(k·|C|) rescans dominate; re-snapshotting a regression is a
+    // visible act, not a silent drift.
+    let snapshot = load("serving");
+    for k in ["k8", "k32"] {
+        let peel = median(&snapshot, &format!("serving_topk_peel/{k}"));
+        let gumbel = median(&snapshot, &format!("serving_topk_gumbel/{k}"));
+        assert!(
+            gumbel < peel,
+            "committed snapshot has gumbel {gumbel} ns >= peel {peel} ns at {k}"
+        );
+    }
+}
+
+#[test]
+fn kernels_snapshot_covers_every_case_and_keeps_the_wins() {
+    let snapshot = load("kernels");
+    let gallop = median(&snapshot, "kernels_intersection/gallop_hub_leaf");
+    let linear = median(&snapshot, "kernels_intersection/linear_merge_baseline");
+    assert!(gallop < linear, "committed snapshot lost the galloping win: {gallop} vs {linear}");
+    let reused = median(&snapshot, "kernels_counter/reused_workspace");
+    let fresh = median(&snapshot, "kernels_counter/fresh_workspace");
+    assert!(reused < fresh, "committed snapshot lost the reuse win: {reused} vs {fresh}");
+}

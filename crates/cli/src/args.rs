@@ -31,6 +31,8 @@ serve options (batch serving over a worker pool):
                     (default 1.0)
   --budget <f64>    total ε each target may spend before the service
                     refuses it (default 10.0)
+  --engine <name>   peel|gumbel top-k sampler; same distribution, gumbel
+                    is the one-pass fast path (default gumbel)
   --threads <n>     worker threads (default: all cores)
   --seed <u64>      master seed (default 42)
   --json <path>     write the JSON outcome report here instead of stdout
@@ -381,6 +383,8 @@ pub struct ServeOptions {
     pub epsilon: f64,
     /// Total ε each target may spend.
     pub budget: f64,
+    /// Top-k engine name: peel|gumbel.
+    pub engine: String,
     /// Worker threads (None = all cores).
     pub threads: Option<usize>,
     /// RNG seed.
@@ -402,6 +406,7 @@ impl Default for ServeOptions {
             gamma: 0.005,
             epsilon: 1.0,
             budget: 10.0,
+            engine: "gumbel".to_owned(),
             threads: None,
             seed: 42,
             json: None,
@@ -453,6 +458,15 @@ fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
                 opts.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
                 if !(opts.budget > 0.0 && opts.budget.is_finite()) {
                     return Err("--budget must be positive and finite".into());
+                }
+            }
+            "--engine" => {
+                opts.engine = value("--engine")?.clone();
+                if !["peel", "gumbel"].contains(&opts.engine.as_str()) {
+                    return Err(format!(
+                        "unknown top-k engine {:?} (expected peel|gumbel)",
+                        opts.engine
+                    ));
                 }
             }
             "--threads" => {
@@ -737,7 +751,7 @@ mod tests {
     fn parses_serve() {
         let cmd = parse(&argv(
             "serve --requests reqs.json --preset twitter --epsilon 0.5 --budget 2.5 \
-             --threads 4 --seed 9 --json out.json",
+             --engine peel --threads 4 --seed 9 --json out.json",
         ))
         .unwrap();
         match cmd {
@@ -746,6 +760,7 @@ mod tests {
                 assert_eq!(opts.preset, "twitter");
                 assert_eq!(opts.epsilon, 0.5);
                 assert_eq!(opts.budget, 2.5);
+                assert_eq!(opts.engine, "peel");
                 assert_eq!(opts.threads, Some(4));
                 assert_eq!(opts.seed, 9);
                 assert_eq!(opts.json.as_deref(), Some("out.json"));
@@ -762,6 +777,8 @@ mod tests {
         assert!(parse(&argv("serve --requests r.json --budget inf")).is_err());
         assert!(parse(&argv("serve --requests r.json --utility nope")).is_err());
         assert!(parse(&argv("serve --requests r.json --mechanism laplace")).is_err());
+        assert!(parse(&argv("serve --requests r.json --engine bogus")).is_err());
+        assert!(parse(&argv("serve --requests r.json --engine")).is_err());
     }
 
     #[test]
@@ -771,6 +788,7 @@ mod tests {
             Command::Serve { opts } => {
                 assert_eq!(opts.epsilon, 1.0);
                 assert_eq!(opts.budget, 10.0);
+                assert_eq!(opts.engine, "gumbel");
                 assert_eq!(opts.preset, "wiki");
                 assert_eq!(opts.threads, None);
                 assert_eq!(opts.json, None);

@@ -15,6 +15,7 @@ use psr_core::serving::{
 };
 use psr_gen::split_seed;
 use psr_graph::EdgeMutation;
+use psr_privacy::TopKEngine;
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use serde::Serialize;
 
@@ -49,6 +50,7 @@ struct EpochRecord {
 #[derive(Debug, Serialize)]
 struct ServeReport {
     utility: String,
+    engine: String,
     epsilon_per_request: f64,
     budget_per_target: f64,
     sensitivity: f64,
@@ -113,12 +115,17 @@ pub fn run(opts: &ServeOptions) {
         other => unreachable!("arg parser admits only known utilities, got {other}"),
     };
     let utility_name = utility.name();
+    let engine: TopKEngine = opts
+        .engine
+        .parse()
+        .unwrap_or_else(|e| unreachable!("arg parser admits only known engines: {e}"));
     let mut service = RecommendationService::new(
         graph,
         utility,
         ServiceConfig {
             epsilon_per_request: opts.epsilon,
             budget_per_target: opts.budget,
+            engine,
             threads: opts.threads,
             ..Default::default()
         },
@@ -155,6 +162,7 @@ pub fn run(opts: &ServeOptions) {
 
     let report = ServeReport {
         utility: utility_name,
+        engine: engine.name().to_owned(),
         epsilon_per_request: opts.epsilon,
         budget_per_target: opts.budget,
         sensitivity: service.sensitivity(),

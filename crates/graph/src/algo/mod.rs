@@ -13,6 +13,6 @@ pub use clustering::{
     average_clustering, global_clustering, local_clustering, triangle_count, triangles_at,
 };
 pub use components::{connected_components, largest_component, ComponentLabels};
-pub use neighbors::{common_neighbor_count, common_neighbor_counts};
+pub use neighbors::{common_neighbor_count, common_neighbor_counts, CommonNeighborCounter};
 pub use stats::{degree_histogram, DegreeStats};
 pub use walks::{WalkCounter, WalkCounts};

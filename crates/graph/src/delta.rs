@@ -74,6 +74,9 @@ pub struct DeltaGraph {
     /// Dirty-node overlay, keyed by node id (ordered for deterministic
     /// iteration of the dirty set).
     overlay: BTreeMap<NodeId, NodeOverlay>,
+    /// Nodes appended past the base's id range by [`DeltaGraph::add_nodes`].
+    /// They start isolated; edges touching them live purely in the overlay.
+    extra_nodes: usize,
     num_edges: usize,
     insertions: usize,
     deletions: usize,
@@ -85,7 +88,31 @@ impl DeltaGraph {
     pub fn new(base: impl Into<Arc<Graph>>) -> Self {
         let base = base.into();
         let num_edges = base.num_edges();
-        DeltaGraph { base, overlay: BTreeMap::new(), num_edges, insertions: 0, deletions: 0 }
+        DeltaGraph {
+            base,
+            overlay: BTreeMap::new(),
+            extra_nodes: 0,
+            num_edges,
+            insertions: 0,
+            deletions: 0,
+        }
+    }
+
+    /// Appends `count` fresh isolated nodes past the current id range and
+    /// returns the id of the first one. Grown nodes are first-class
+    /// endpoints for [`DeltaGraph::insert_edge`] / [`DeltaGraph::apply`]
+    /// and survive [`DeltaGraph::compact`], which folds them into the new
+    /// base. The growth itself marks the view dirty (reads no longer
+    /// equal the base), even before any edge touches the new ids.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.num_nodes() as NodeId;
+        self.extra_nodes += count;
+        first
+    }
+
+    /// Number of nodes appended past the base snapshot.
+    pub fn num_extra_nodes(&self) -> usize {
+        self.extra_nodes
     }
 
     /// The shared base snapshot the overlay layers over.
@@ -95,7 +122,7 @@ impl DeltaGraph {
 
     /// Whether the overlay carries no pending edits (reads equal the base).
     pub fn is_clean(&self) -> bool {
-        self.overlay.is_empty()
+        self.overlay.is_empty() && self.extra_nodes == 0
     }
 
     /// Number of dirty nodes (nodes whose adjacency differs from the base).
@@ -125,19 +152,23 @@ impl DeltaGraph {
     }
 
     fn check_node(&self, v: NodeId) -> Result<()> {
-        if ix(v) >= self.base.num_nodes() {
-            return Err(GraphError::NodeOutOfRange {
-                node: v as u64,
-                num_nodes: self.base.num_nodes(),
-            });
+        if ix(v) >= self.num_nodes() {
+            return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: self.num_nodes() });
         }
         Ok(())
     }
 
-    /// Overlay entry for `u`, created from the base adjacency on demand.
+    /// Overlay entry for `u`, created from the base adjacency on demand
+    /// (empty for nodes grown past the base).
     fn arm(&mut self, u: NodeId) -> &mut NodeOverlay {
         let base = &self.base;
-        self.overlay.entry(u).or_insert_with(|| NodeOverlay::seeded(base.neighbors(u)))
+        self.overlay.entry(u).or_insert_with(|| {
+            if ix(u) < base.num_nodes() {
+                NodeOverlay::seeded(base.neighbors(u))
+            } else {
+                NodeOverlay::seeded(&[])
+            }
+        })
     }
 
     /// Drops `u`'s overlay entry if its edits cancelled out.
@@ -253,7 +284,7 @@ impl DeltaGraph {
     /// set. The overlay (and its base) are untouched; re-basing is
     /// `DeltaGraph::new(delta.compact())`.
     pub fn compact(&self) -> Graph {
-        let n = self.base.num_nodes();
+        let n = self.num_nodes();
         let mut offsets = vec![0u64; n + 1];
         for v in 0..n {
             offsets[v + 1] = offsets[v] + self.neighbors(v as NodeId).len() as u64;
@@ -268,7 +299,7 @@ impl DeltaGraph {
 
 impl GraphView for DeltaGraph {
     fn num_nodes(&self) -> usize {
-        self.base.num_nodes()
+        self.base.num_nodes() + self.extra_nodes
     }
 
     fn num_edges(&self) -> usize {
@@ -282,6 +313,8 @@ impl GraphView for DeltaGraph {
     fn neighbors(&self, v: NodeId) -> &[NodeId] {
         match self.overlay.get(&v) {
             Some(entry) => &entry.merged,
+            // Grown nodes with no edits yet are isolated, not base reads.
+            None if ix(v) >= self.base.num_nodes() => &[],
             None => self.base.neighbors(v),
         }
     }
@@ -411,6 +444,37 @@ mod tests {
         assert!(!d.has_edge(0, 1));
         assert_eq!(d.dirty_nodes().collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(d.num_edges(), 2);
+    }
+
+    #[test]
+    fn add_nodes_grows_the_view_and_survives_compaction() {
+        let mut d = DeltaGraph::new(base());
+        assert_eq!(d.num_nodes(), 5);
+        let first = d.add_nodes(2);
+        assert_eq!(first, 5);
+        assert_eq!(d.num_nodes(), 7);
+        assert_eq!(d.num_extra_nodes(), 2);
+        assert!(!d.is_clean(), "growth alone makes reads differ from the base");
+        // Grown nodes start isolated and accept edges in either direction.
+        assert_eq!(GraphView::neighbors(&d, 5), &[] as &[NodeId]);
+        d.insert_edge(5, 0).unwrap();
+        d.apply(&EdgeMutation::insert(6, 5)).unwrap();
+        assert_eq!(GraphView::neighbors(&d, 5), &[0, 6]);
+        assert_eq!(GraphView::neighbors(&d, 0), &[1, 5]);
+        // Compaction folds the grown nodes into the new base.
+        let compacted = d.compact();
+        assert_eq!(compacted.num_nodes(), 7);
+        let rebuilt = crate::GraphBuilder::new(Direction::Undirected)
+            .add_edges([(0, 1), (1, 2), (2, 3), (0, 5), (5, 6)])
+            .with_num_nodes(7)
+            .build()
+            .unwrap();
+        assert_eq!(compacted, rebuilt);
+        // Endpoints past the grown range still error cleanly.
+        assert_eq!(
+            d.insert_edge(0, 7).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 7, num_nodes: 7 }
+        );
     }
 
     #[test]

@@ -38,3 +38,4 @@ pub use mechanism::{
     resolve_recommendation, resolve_zero_class_distinct, Mechanism, Recommendation,
 };
 pub use smoothing::LinearSmoothing;
+pub use topk::{topk_exponential, topk_gumbel, topk_with_engine, TopK, TopKEngine};

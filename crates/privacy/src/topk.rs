@@ -11,13 +11,57 @@
 //! The peel happens **in place**: one live list of non-zero entries plus a
 //! zero-class counter, with each round's draw walking the live weights
 //! directly. No per-round clone of the remaining candidates, no per-round
-//! `UtilityVector` reconstruction — this is the engine
-//! `psr_core::serving::RecommendationService` runs for every request of a
-//! batch.
+//! `UtilityVector` reconstruction.
+//!
+//! Two engines realise the same distribution ([`TopKEngine`]): the
+//! peeling sampler above, and the one-pass Gumbel-max sampler
+//! ([`topk_gumbel`]) that `psr_core::serving::RecommendationService` runs
+//! by default — O(|C| + k log k) per request instead of O(k·|C|), exact
+//! equivalence pinned by the chi-square conformance suite.
 
 use psr_graph::NodeId;
 use psr_utility::UtilityVector;
 use rand::Rng;
+
+/// Which sampler realises the `k`-round Exponential-mechanism peel.
+///
+/// Both engines draw from the *same* distribution — `k` rounds of
+/// Plackett–Luce sampling without replacement at weight `exp(rate·u)`,
+/// `rate = ε/(k·Δf)` — they differ only in cost: the peel walks the live
+/// weights `k` times (O(k·|C|)), the Gumbel engine perturbs every weight
+/// once and selects the top `k` keys (O(|C| + k log k)). Equivalence is
+/// exact because the per-round rate is constant, and is pinned by the
+/// chi-square conformance suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopKEngine {
+    /// `k` sequential peeling rounds (the original engine).
+    Peel,
+    /// One-pass Gumbel-max sampling (the default serving engine).
+    #[default]
+    Gumbel,
+}
+
+impl TopKEngine {
+    /// Stable lowercase name, the CLI `--engine` vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopKEngine::Peel => "peel",
+            TopKEngine::Gumbel => "gumbel",
+        }
+    }
+}
+
+impl std::str::FromStr for TopKEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "peel" => Ok(TopKEngine::Peel),
+            "gumbel" => Ok(TopKEngine::Gumbel),
+            other => Err(format!("unknown top-k engine '{other}' (expected peel|gumbel)")),
+        }
+    }
+}
 
 /// Result of a top-`k` draw.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,9 +132,15 @@ pub fn topk_exponential(
         }
         // Weights shifted by the current max so the largest exponent is 0
         // and the mass cannot overflow; recomputed per round because the
-        // max shrinks as top entries are peeled off.
-        let u_max = live.iter().map(|&(_, x)| x).fold(0.0, f64::max);
-        let mut mass: f64 = zeros as f64 * (-rate * u_max).exp();
+        // max shrinks as top entries are peeled off. The fold must start
+        // from −∞: seeding it with 0.0 silently clamps the shift when all
+        // live utilities are negative (reachable only through serde — the
+        // sparse constructors reject negatives), underflowing every live
+        // weight at high rates and skewing the draw toward the zero class.
+        let u_max = live.iter().map(|&(_, x)| x).fold(f64::NEG_INFINITY, f64::max);
+        // Guard the empty class: `0.0 * exp(−rate·u_max)` is NaN once a
+        // negative `u_max` sends the exponential to +∞.
+        let mut mass: f64 = if zeros > 0 { zeros as f64 * (-rate * u_max).exp() } else { 0.0 };
         for &(_, x) in live.iter() {
             mass += (rate * (x - u_max)).exp();
         }
@@ -122,6 +172,91 @@ pub fn topk_exponential(
         }
     }
     TopK { picks, total_utility }
+}
+
+/// A standard Gumbel(0, 1) variate: `−ln(−ln U)`, `U ∈ [0, 1)`. A zero
+/// roll lands the key at −∞ — the worst possible key, never a crash.
+fn gumbel(rng: &mut dyn rand::RngCore) -> f64 {
+    let u: f64 = rng.gen();
+    -(-u.ln()).ln()
+}
+
+/// A standard Exponential(1) variate: `−ln(1 − U)` keeps the argument in
+/// `(0, 1]`, so the result is finite and non-negative.
+fn exp1(rng: &mut dyn rand::RngCore) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln()
+}
+
+/// Draws `k` distinct recommendations in one pass with the Gumbel-max
+/// trick: the top `k` of the perturbed keys `rate·uᵢ + Gumbelᵢ(0, 1)` are
+/// distributed exactly as `k` rounds of Plackett–Luce peeling at weight
+/// `exp(rate·uᵢ)` — the distribution of [`topk_exponential`] — because
+/// the per-round rate `ε/(k·Δf)` never changes across the peel.
+///
+/// The anonymous zero class is handled in aggregate: its `z` members all
+/// carry weight `exp(0) = 1`, so the top `min(k, z)` of their keys are
+/// the descending order statistics of `z` i.i.d. Gumbels, sampled
+/// directly through a Rényi exponential race (`Eᵢ₊₁ = Eᵢ + Exp(1)/(z−i)`,
+/// key `= −ln Eᵢ₊₁`) without materialising the class. Zero-class winners
+/// surface as `None` picks, preserving the peel's `Option<NodeId>`
+/// semantics.
+///
+/// Cost: O(|C| + k log k) per request versus the peel's O(k·|C|).
+pub fn topk_gumbel(
+    u: &UtilityVector,
+    k: usize,
+    eps: f64,
+    sensitivity: f64,
+    rng: &mut dyn rand::RngCore,
+) -> TopK {
+    assert!(k >= 1, "k must be positive");
+    assert!(k <= u.len(), "cannot recommend more nodes than candidates");
+    assert!(eps >= 0.0, "privacy parameter must be non-negative");
+    assert!(sensitivity > 0.0, "sensitivity must be positive");
+    let rate = eps / k as f64 / sensitivity; // per-round exponent rate s
+
+    let nonzero = u.nonzero();
+    let zeros = u.num_zero();
+    let mut keyed: Vec<(f64, Option<NodeId>, f64)> =
+        Vec::with_capacity(nonzero.len() + zeros.min(k));
+    for &(v, x) in nonzero {
+        keyed.push((rate * x + gumbel(rng), Some(v), x));
+    }
+    // Only the zero class's top min(k, z) keys can ever be selected, and
+    // they follow the race above; later picks have strictly smaller keys,
+    // so pushing them in race order keeps the aggregate draw faithful.
+    let mut race = 0.0;
+    for i in 0..zeros.min(k) {
+        race += exp1(rng) / (zeros - i) as f64;
+        keyed.push((-race.ln(), None, 0.0));
+    }
+    // `k ≤ len` guarantees `keyed.len() ≥ k`: either `z ≥ k` contributes
+    // `k` keys on its own, or every candidate contributed one.
+    debug_assert!(keyed.len() >= k);
+    if keyed.len() > k {
+        keyed.select_nth_unstable_by(k - 1, |a, b| b.0.total_cmp(&a.0));
+        keyed.truncate(k);
+    }
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let total_utility = keyed.iter().map(|&(_, _, x)| x).sum();
+    let picks = keyed.into_iter().map(|(_, v, _)| v).collect();
+    TopK { picks, total_utility }
+}
+
+/// Dispatches a top-`k` draw to the selected [`TopKEngine`].
+pub fn topk_with_engine(
+    engine: TopKEngine,
+    u: &UtilityVector,
+    k: usize,
+    eps: f64,
+    sensitivity: f64,
+    rng: &mut dyn rand::RngCore,
+) -> TopK {
+    match engine {
+        TopKEngine::Peel => topk_exponential(u, k, eps, sensitivity, rng),
+        TopKEngine::Gumbel => topk_gumbel(u, k, eps, sensitivity, rng),
+    }
 }
 
 /// The non-private optimum: sum of the `k` largest utilities. Denominator
@@ -259,6 +394,134 @@ mod tests {
                 assert!(nones <= num_zero, "zero class over-consumed: {nones} > {num_zero}");
                 assert_eq!(nodes.len() + nones, k);
             }
+        }
+    }
+
+    /// Serde is the one boundary that admits negative utilities (the
+    /// sparse constructors debug-assert positivity), standing in for any
+    /// future untrusted utility source.
+    fn negative_vector() -> UtilityVector {
+        let json = r#"{"nonzero":[[0,-5.0],[1,-1.0],[2,-3.0]],"num_zero":0,"u_max":-1.0}"#;
+        serde_json::from_str(json).expect("hand-built vector deserialises")
+    }
+
+    #[test]
+    fn negative_utilities_keep_the_true_argmax_order() {
+        // Regression for the 0.0-seeded `u_max` fold: clamping the shift
+        // at 0 underflowed every all-negative live weight at high rates,
+        // so the walk fell through to the uniform-residue fallback and
+        // returned an arbitrary candidate instead of the argmax.
+        let u = negative_vector();
+        for seed in 0..20 {
+            let out = topk_exponential(&u, 2, 5000.0, 1.0, &mut rng(seed));
+            assert_eq!(out.picks, vec![Some(1), Some(2)], "seed {seed}");
+            assert_eq!(out.total_utility, -4.0);
+            let gumbel = topk_gumbel(&u, 2, 5000.0, 1.0, &mut rng(seed));
+            assert_eq!(gumbel.picks, out.picks, "gumbel agrees, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn negative_utilities_survive_extreme_rolls() {
+        // MaxRollRng pins every draw to the far edge of the walk: with the
+        // fold fixed the mass stays finite (no NaN from `0 · ∞`), the draw
+        // stays inside the live weights, and all entries peel exactly once.
+        let u = negative_vector();
+        let out = topk_exponential(&u, 3, 5000.0, 1.0, &mut MaxRollRng);
+        let mut nodes: Vec<NodeId> = out.picks.iter().flatten().copied().collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+        assert_eq!(out.total_utility, -9.0);
+    }
+
+    #[test]
+    fn gumbel_huge_eps_returns_the_true_top_k() {
+        let u = vector();
+        for seed in 0..20 {
+            let out = topk_gumbel(&u, 2, 1000.0, 1.0, &mut rng(seed));
+            assert_eq!(out.picks, vec![Some(0), Some(1)], "seed {seed}");
+            assert_eq!(out.total_utility, 8.0);
+        }
+    }
+
+    #[test]
+    fn gumbel_draws_are_distinct_and_balance_the_zero_class() {
+        // Full-set draws mirror `zero_class_draws_mid_peel_balance_exactly`:
+        // every non-zero entry appears once, every zero member once.
+        let u = UtilityVector::from_sparse(vec![(2, 3.0), (5, 1.0), (9, 2.0)], 4);
+        for seed in 0..50 {
+            let out = topk_gumbel(&u, u.len(), 0.4, 1.0, &mut rng(seed));
+            let mut nodes: Vec<NodeId> = out.picks.iter().flatten().copied().collect();
+            nodes.sort_unstable();
+            assert_eq!(nodes, vec![2, 5, 9], "seed {seed}");
+            let nones = out.picks.iter().filter(|p| p.is_none()).count();
+            assert_eq!(nones, 4, "seed {seed}");
+            assert_eq!(out.total_utility, 6.0);
+        }
+    }
+
+    #[test]
+    fn gumbel_k_exceeding_nonzero_pool_fills_with_zero_class() {
+        let u = UtilityVector::from_sparse(vec![(0, 2.0)], 3);
+        let out = topk_gumbel(&u, 3, 1000.0, 1.0, &mut rng(3));
+        assert_eq!(out.picks[0], Some(0));
+        assert_eq!(&out.picks[1..], &[None, None]);
+        assert_eq!(out.total_utility, 2.0);
+    }
+
+    #[test]
+    fn gumbel_all_zero_vector_fills_all_slots() {
+        let u = UtilityVector::from_sparse(vec![], 3);
+        let out = topk_gumbel(&u, 3, 1.0, 1.0, &mut rng(5));
+        assert_eq!(out.picks, vec![None, None, None]);
+        assert_eq!(out.total_utility, 0.0);
+    }
+
+    #[test]
+    fn gumbel_survives_extreme_rolls() {
+        for num_zero in [0usize, 1, 3] {
+            for eps in [0.0, 1.0, 1000.0] {
+                let u = UtilityVector::from_sparse(vec![(0, 1.0), (1, 1.0), (2, 1.0)], num_zero);
+                let k = u.len();
+                let out = topk_gumbel(&u, k, eps, 1.0, &mut MaxRollRng);
+                assert_eq!(out.picks.len(), k, "num_zero={num_zero} eps={eps}");
+                let nones = out.picks.iter().filter(|p| p.is_none()).count();
+                assert_eq!(nones, num_zero, "full-set draw consumes the class exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_dispatch_and_names_round_trip() {
+        assert_eq!(TopKEngine::default(), TopKEngine::Gumbel);
+        for engine in [TopKEngine::Peel, TopKEngine::Gumbel] {
+            assert_eq!(engine.name().parse::<TopKEngine>(), Ok(engine));
+            let u = vector();
+            let out = topk_with_engine(engine, &u, 2, 1000.0, 1.0, &mut rng(1));
+            assert_eq!(out.picks, vec![Some(0), Some(1)], "{engine:?}");
+        }
+        assert!("laplace".parse::<TopKEngine>().is_err());
+    }
+
+    #[test]
+    fn engines_agree_at_eps_zero_in_aggregate() {
+        // ε = 0 is uniform over candidates-plus-zero-class for both
+        // engines: per-slot zero-class rates over many draws must match
+        // the hypergeometric expectation (and each other) closely.
+        let u = UtilityVector::from_sparse(vec![(0, 9.0), (1, 4.0)], 2);
+        let trials = 4000;
+        let mut none_counts = [0usize; 2];
+        for (e, engine) in [TopKEngine::Peel, TopKEngine::Gumbel].into_iter().enumerate() {
+            let mut r = rng(77);
+            for _ in 0..trials {
+                let out = topk_with_engine(engine, &u, 2, 0.0, 1.0, &mut r);
+                none_counts[e] += out.picks.iter().filter(|p| p.is_none()).count();
+            }
+        }
+        // E[zero-class picks in a uniform 2-of-4 draw] = 1 per trial.
+        for (e, &count) in none_counts.iter().enumerate() {
+            let mean = count as f64 / trials as f64;
+            assert!((mean - 1.0).abs() < 0.05, "engine {e}: mean zero picks {mean}");
         }
     }
 

@@ -160,6 +160,57 @@ proptest! {
         prop_assert!((exp - lap).abs() < 0.12, "exp {exp} vs lap {lap}");
     }
 
+    /// The two top-k engines agree wherever sampling is deterministic.
+    /// At ε = 10⁶ the noise is negligible against any utility gap, so
+    /// both must return a true top-k: identical total utility and an
+    /// identical multiset of picked utilities (individual node ids may
+    /// differ only inside exact-tie groups). At ε = 0 both are uniform
+    /// samplers; the structural contract — k slots, distinct node picks,
+    /// zero class never over-drawn — must hold for each (the matching
+    /// distributions are pinned by the χ² conformance suite).
+    #[test]
+    fn topk_engines_agree_in_deterministic_regimes(
+        edges in edge_set(N, 24),
+        k in 1usize..5,
+        seed in 0u64..1 << 32,
+    ) {
+        use psr_privacy::{topk_with_engine, TopKEngine};
+
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges(edges.iter().copied())
+            .with_num_nodes(N as usize)
+            .build()
+            .unwrap();
+        let candidates = CandidateSet::for_target(&g, 0);
+        let u = CommonNeighbors.utilities(&g, 0, &candidates);
+        prop_assume!(k <= u.len());
+
+        let sorted_utilities = |picks: &[Option<u32>]| -> Vec<f64> {
+            let mut us: Vec<f64> =
+                picks.iter().map(|p| p.map_or(0.0, |v| u.get(v))).collect();
+            us.sort_by(f64::total_cmp);
+            us
+        };
+        let peel =
+            topk_with_engine(TopKEngine::Peel, &u, k, 1e6, 2.0, &mut rng(seed));
+        let gumbel =
+            topk_with_engine(TopKEngine::Gumbel, &u, k, 1e6, 2.0, &mut rng(!seed));
+        prop_assert!((peel.total_utility - gumbel.total_utility).abs() < 1e-9,
+            "peel {} vs gumbel {}", peel.total_utility, gumbel.total_utility);
+        prop_assert_eq!(sorted_utilities(&peel.picks), sorted_utilities(&gumbel.picks));
+
+        for engine in [TopKEngine::Peel, TopKEngine::Gumbel] {
+            let top = topk_with_engine(engine, &u, k, 0.0, 2.0, &mut rng(seed));
+            prop_assert_eq!(top.picks.len(), k);
+            let nodes: Vec<u32> = top.picks.iter().filter_map(|&p| p).collect();
+            let mut distinct = nodes.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), nodes.len(), "duplicate picks under {:?}", engine);
+            prop_assert!(k - nodes.len() <= u.num_zero(), "zero class over-drawn by {:?}", engine);
+        }
+    }
+
     /// Smoothing never exceeds its Theorem-5 epsilon: exact distribution
     /// ratio check across two arbitrary utility vectors on the same
     /// candidate count.

@@ -246,6 +246,49 @@ fn edge_delete_is_as_inferable_as_edge_insert() {
 }
 
 #[test]
+fn topk_engines_charge_identical_budgets_and_leak_indistinguishably() {
+    // The Gumbel-max serving engine must be a pure performance change:
+    // same transcript ε by construction, and an empirical ε̂ the
+    // likelihood-ratio adversary cannot tell apart from the peel engine's
+    // beyond Monte-Carlo noise. This is the serve-then-measure face of
+    // the chi-square conformance suite in psr-privacy.
+    let config = |engine| ScenarioConfig {
+        engine,
+        ..leaky_karate(AttackMechanism::Exponential { epsilon: 0.5 })
+    };
+    let peel = scenario(config(psr_privacy::TopKEngine::Peel));
+    let gumbel = scenario(config(psr_privacy::TopKEngine::Gumbel));
+
+    // Identical composed budgets: ε accounting never looks at the engine.
+    let budget = peel.transcript_epsilon().expect("budgeted");
+    assert_eq!(gumbel.transcript_epsilon(), Some(budget));
+
+    let rp = peel.attack(&peel.collect(), &ReconstructionAdversary);
+    let rg = gumbel.attack(&gumbel.collect(), &ReconstructionAdversary);
+    // Both engines respect the budget, with certified lower bounds.
+    assert!(rp.empirical_epsilon.lower <= budget, "peel {} > {budget}", rp.empirical_epsilon.lower);
+    assert!(
+        rg.empirical_epsilon.lower <= budget,
+        "gumbel {} > {budget}",
+        rg.empirical_epsilon.lower
+    );
+    // Statistical indistinguishability at 48 trials/world: each engine's
+    // point estimate lies within the other's Clopper–Pearson band width
+    // of it (the bands at this trial count span well over a unit of ε).
+    let band = (rp.empirical_epsilon.point - rp.empirical_epsilon.lower)
+        .max(rg.empirical_epsilon.point - rg.empirical_epsilon.lower);
+    let gap = (rp.empirical_epsilon.point - rg.empirical_epsilon.point).abs();
+    assert!(
+        gap <= band + 1e-9,
+        "engines separated beyond Monte-Carlo resolution: peel ε̂ {} vs gumbel ε̂ {} (band {band})",
+        rp.empirical_epsilon.point,
+        rg.empirical_epsilon.point
+    );
+    // And the AUCs agree to Monte-Carlo tolerance as well.
+    assert!((rp.auc - rg.auc).abs() < 0.15, "peel auc {} vs gumbel auc {}", rp.auc, rg.auc);
+}
+
+#[test]
 fn reconstruction_dominates_the_weaker_adversaries_on_the_non_private_baseline() {
     // Neyman–Pearson in practice: the exact likelihood-ratio attack is at
     // least as good (in AUC) as the shadow-model MIA, which is at least

@@ -13,11 +13,36 @@
 //! every routine runs exactly once with a single iteration and no timing —
 //! CI smoke coverage for the benched paths at negligible cost.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
+}
+
+/// The sampler's summary for one timed benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Full benchmark id (`group/case` or a bare `bench_function` name).
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+/// Every timed case recorded so far, in execution order. Test-mode runs
+/// (`-- --test`) record nothing: they neither time nor sample.
+static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
+
+/// Drains the recorded case summaries, leaving the registry empty.
+/// Bench binaries call this from `main` after the groups have run to
+/// serialise a machine-readable snapshot next to the printed report.
+pub fn take_results() -> Vec<CaseResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("results registry poisoned"))
 }
 
 /// How `iter_batched` should weigh setup cost; accepted for API
@@ -125,6 +150,12 @@ fn run_benchmark(
     }
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
+    RESULTS.lock().expect("results registry poisoned").push(CaseResult {
+        id: id.to_owned(),
+        median_ns: median,
+        min_ns: samples[0],
+        max_ns: *samples.last().unwrap(),
+    });
     println!(
         "  {id}: median {} (min {}, max {}, {} samples)",
         format_nanos(median),
