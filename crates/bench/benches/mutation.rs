@@ -93,7 +93,7 @@ fn mutation_reserve(c: &mut Criterion) {
 
     // Headline comparison, one shot, outside the sampler. Warm the cache
     // the way a long-running service would be warm.
-    let mut service = service_over(Arc::clone(&base));
+    let service = service_over(Arc::clone(&base));
     let warm = service.serve_batch(&all_requests, BENCH_SEED);
     assert!(warm.iter().all(Result::is_ok));
 

@@ -107,6 +107,22 @@ fn serving_snapshot_shows_gumbel_beating_peel_at_large_k() {
 }
 
 #[test]
+fn daemon_snapshot_covers_every_case_and_stays_near_the_one_shot_path() {
+    // The committed run must record the daemon's queueing machinery
+    // costing at most 2x the bare one-shot replay of the same events —
+    // the pipeline buys always-on ingestion, not a throughput regression.
+    let snapshot = load("daemon");
+    let daemon = median(&snapshot, "daemon_pipeline/daemon_loop");
+    let oneshot = median(&snapshot, "daemon_pipeline/oneshot_replay");
+    assert!(
+        daemon <= 2.0 * oneshot,
+        "committed snapshot has the daemon loop at {daemon} ns, past 2x one-shot {oneshot} ns"
+    );
+    median(&snapshot, "daemon_ledger/memory_ledger");
+    median(&snapshot, "daemon_ledger/journal_fsync");
+}
+
+#[test]
 fn kernels_snapshot_covers_every_case_and_keeps_the_wins() {
     let snapshot = load("kernels");
     let gallop = median(&snapshot, "kernels_intersection/gallop_hub_leaf");

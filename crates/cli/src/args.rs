@@ -9,6 +9,7 @@ usage:
   psr dataset <wiki|twitter> [options]
   psr recommend --target <id> [--target <id> ...] [recommend options]
   psr serve --requests <path> [serve options]
+  psr daemon [daemon options]     always-on serving over generated streams
   psr attack [attack options]     run the edge-inference adversaries
 
 recommend options:
@@ -37,11 +38,29 @@ serve options (batch serving over a worker pool):
   --seed <u64>      master seed (default 42)
   --json <path>     write the JSON outcome report here instead of stdout
 
+daemon options (always-on serving over generated request/mutation streams):
+  --input, --directed, --preset, --scale, --utility, --gamma,
+  --epsilon, --budget, --engine, --threads, --seed, --json   as for serve
+  --request-events <n>   requests to generate (default 256)
+  --mutation-events <n>  edge mutations to interleave (default 32)
+  --insert-fraction <f>  insert share of mutations in [0,1] (default 0.7)
+  --k <n>           slots per generated request (default 5)
+  --batch <n>       requests per dispatched batch (default 16)
+  --mutation-batch <n>   mutations per apply_mutations call (default 8)
+  --queue <n>       bounded job-queue capacity; ingestion blocks when
+                    full (backpressure) (default 8)
+  --ledger <path>   persistent budget journal; replayed on startup so
+                    ε spend survives restarts (default: in-memory)
+  --rate <f64>      replay pacing in stream ticks per second
+                    (default: no pacing, drain as fast as possible)
+
 attack options (empirical edge- and node-inference adversaries):
   --input, --directed, --scale, --seed  as for recommend
   --preset <name>   karate|wiki|twitter when no --input (default karate)
   --utility <name>  common-neighbors|weighted-paths (default common-neighbors)
   --gamma <f64>     weighted-paths damping (default 0.005)
+  --engine <name>   peel|gumbel top-k sampler for exponential observations
+                    (default gumbel)
   --adjacency <a>   edge|node — Definition 1's single-edge worlds or
                     Appendix A's whole-neighbourhood rewire (default edge)
   --mechanism <m>   exponential|laplace|smoothing|non-private
@@ -117,6 +136,206 @@ pub enum Command {
         /// Edge-inference options.
         opts: AttackOptions,
     },
+    /// `psr daemon …`
+    Daemon {
+        /// Stream-serving options.
+        opts: DaemonOptions,
+    },
+}
+
+/// Options for the `daemon` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonOptions {
+    /// SNAP edge-list path (None = preset).
+    pub input: Option<String>,
+    /// Whether the input file is directed.
+    pub directed: bool,
+    /// Preset name when no input file.
+    pub preset: String,
+    /// Dataset scale for presets.
+    pub scale: f64,
+    /// Utility function name.
+    pub utility: String,
+    /// Weighted-paths damping.
+    pub gamma: f64,
+    /// Privacy cost ε of one request.
+    pub epsilon: f64,
+    /// Total ε each target may spend.
+    pub budget: f64,
+    /// Top-k engine name: peel|gumbel.
+    pub engine: String,
+    /// Requests to generate.
+    pub request_events: usize,
+    /// Edge mutations to interleave.
+    pub mutation_events: usize,
+    /// Insert share of generated mutations.
+    pub insert_fraction: f64,
+    /// Slots per generated request.
+    pub k: usize,
+    /// Requests per dispatched batch.
+    pub batch: usize,
+    /// Mutations per `apply_mutations` call.
+    pub mutation_batch: usize,
+    /// Bounded job-queue capacity.
+    pub queue: usize,
+    /// Persistent budget-journal path (None = in-memory).
+    pub ledger: Option<String>,
+    /// Replay pacing in stream ticks per second (None = no pacing).
+    pub rate: Option<f64>,
+    /// Worker threads (None = all cores).
+    pub threads: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional JSON report path (stdout when absent).
+    pub json: Option<String>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            input: None,
+            directed: false,
+            preset: "wiki".to_owned(),
+            scale: 1.0,
+            utility: "common-neighbors".to_owned(),
+            gamma: 0.005,
+            epsilon: 1.0,
+            budget: 10.0,
+            engine: "gumbel".to_owned(),
+            request_events: 256,
+            mutation_events: 32,
+            insert_fraction: 0.7,
+            k: 5,
+            batch: 16,
+            mutation_batch: 8,
+            queue: 8,
+            ledger: None,
+            rate: None,
+            threads: None,
+            seed: 42,
+            json: None,
+        }
+    }
+}
+
+fn parse_daemon(rest: &[String]) -> Result<DaemonOptions, String> {
+    let mut opts = DaemonOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--input" => opts.input = Some(value("--input")?.clone()),
+            "--directed" => opts.directed = true,
+            "--preset" => {
+                opts.preset = value("--preset")?.clone();
+                if !["wiki", "twitter"].contains(&opts.preset.as_str()) {
+                    return Err(format!("unknown preset {:?}", opts.preset));
+                }
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--utility" => {
+                opts.utility = value("--utility")?.clone();
+                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
+                    return Err(format!("unknown utility {:?}", opts.utility));
+                }
+            }
+            "--gamma" => {
+                opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--epsilon" => {
+                opts.epsilon =
+                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
+                if opts.epsilon <= 0.0 {
+                    return Err("--epsilon must be positive".into());
+                }
+            }
+            "--budget" => {
+                opts.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
+                if !(opts.budget > 0.0 && opts.budget.is_finite()) {
+                    return Err("--budget must be positive and finite".into());
+                }
+            }
+            "--engine" => {
+                opts.engine = value("--engine")?.clone();
+                if !["peel", "gumbel"].contains(&opts.engine.as_str()) {
+                    return Err(format!(
+                        "unknown top-k engine {:?} (expected peel|gumbel)",
+                        opts.engine
+                    ));
+                }
+            }
+            "--request-events" => {
+                opts.request_events = value("--request-events")?
+                    .parse()
+                    .map_err(|e| format!("--request-events: {e}"))?;
+                if opts.request_events == 0 {
+                    return Err("--request-events must be at least 1".into());
+                }
+            }
+            "--mutation-events" => {
+                opts.mutation_events = value("--mutation-events")?
+                    .parse()
+                    .map_err(|e| format!("--mutation-events: {e}"))?;
+            }
+            "--insert-fraction" => {
+                opts.insert_fraction = value("--insert-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--insert-fraction: {e}"))?;
+                if !(0.0..=1.0).contains(&opts.insert_fraction) {
+                    return Err("--insert-fraction must be in [0, 1]".into());
+                }
+            }
+            "--k" => {
+                opts.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?;
+                if opts.k == 0 {
+                    return Err("--k must be at least 1".into());
+                }
+            }
+            "--batch" => {
+                opts.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?;
+                if opts.batch == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+            }
+            "--mutation-batch" => {
+                opts.mutation_batch = value("--mutation-batch")?
+                    .parse()
+                    .map_err(|e| format!("--mutation-batch: {e}"))?;
+                if opts.mutation_batch == 0 {
+                    return Err("--mutation-batch must be at least 1".into());
+                }
+            }
+            "--queue" => {
+                opts.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?;
+                if opts.queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--ledger" => opts.ledger = Some(value("--ledger")?.clone()),
+            "--rate" => {
+                let rate: f64 = value("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?;
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err("--rate must be positive and finite".into());
+                }
+                opts.rate = Some(rate);
+            }
+            "--threads" => {
+                opts.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--json" => opts.json = Some(value("--json")?.clone()),
+            other => return Err(format!("unknown daemon option {other:?}")),
+        }
+    }
+    Ok(opts)
 }
 
 /// Options for the `attack` subcommand.
@@ -134,6 +353,8 @@ pub struct AttackOptions {
     pub utility: String,
     /// Weighted-paths damping.
     pub gamma: f64,
+    /// Top-k engine name for exponential observations: peel|gumbel.
+    pub engine: String,
     /// Mechanism under attack.
     pub mechanism: String,
     /// Per-observation ε for exponential/laplace.
@@ -177,6 +398,7 @@ impl Default for AttackOptions {
             scale: 1.0,
             utility: "common-neighbors".to_owned(),
             gamma: 0.005,
+            engine: "gumbel".to_owned(),
             mechanism: "exponential".to_owned(),
             epsilon: 0.5,
             smoothing_x: 0.05,
@@ -227,6 +449,15 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
             }
             "--gamma" => {
                 opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
+            }
+            "--engine" => {
+                opts.engine = value("--engine")?.clone();
+                if !["peel", "gumbel"].contains(&opts.engine.as_str()) {
+                    return Err(format!(
+                        "unknown top-k engine {:?} (expected peel|gumbel)",
+                        opts.engine
+                    ));
+                }
             }
             "--mechanism" => {
                 opts.mechanism = value("--mechanism")?.clone();
@@ -634,6 +865,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "recommend" => Ok(Command::Recommend { opts: parse_recommend(it.as_slice())? }),
         "serve" => Ok(Command::Serve { opts: parse_serve(it.as_slice())? }),
         "attack" => Ok(Command::Attack { opts: parse_attack(it.as_slice())? }),
+        "daemon" => Ok(Command::Daemon { opts: parse_daemon(it.as_slice())? }),
         "dataset" => {
             let name = it.next().ok_or("dataset: missing name")?.clone();
             if !["wiki", "twitter"].contains(&name.as_str()) {
@@ -808,6 +1040,80 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&argv("serve --requests r.json --mutations")).is_err());
+    }
+
+    #[test]
+    fn parses_daemon() {
+        let cmd = parse(&argv(
+            "daemon --preset twitter --request-events 64 --mutation-events 8 \
+             --insert-fraction 0.5 --k 3 --batch 4 --mutation-batch 2 --queue 5 \
+             --ledger spend.ledger --rate 100 --engine peel --threads 2 --seed 9 \
+             --json out.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Daemon { opts } => {
+                assert_eq!(opts.preset, "twitter");
+                assert_eq!(opts.request_events, 64);
+                assert_eq!(opts.mutation_events, 8);
+                assert_eq!(opts.insert_fraction, 0.5);
+                assert_eq!(opts.k, 3);
+                assert_eq!(opts.batch, 4);
+                assert_eq!(opts.mutation_batch, 2);
+                assert_eq!(opts.queue, 5);
+                assert_eq!(opts.ledger.as_deref(), Some("spend.ledger"));
+                assert_eq!(opts.rate, Some(100.0));
+                assert_eq!(opts.engine, "peel");
+                assert_eq!(opts.threads, Some(2));
+                assert_eq!(opts.seed, 9);
+                assert_eq!(opts.json.as_deref(), Some("out.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemon_defaults() {
+        let cmd = parse(&argv("daemon")).unwrap();
+        match cmd {
+            Command::Daemon { opts } => {
+                assert_eq!(opts, DaemonOptions::default());
+                assert_eq!(opts.request_events, 256);
+                assert_eq!(opts.mutation_events, 32);
+                assert_eq!(opts.batch, 16);
+                assert_eq!(opts.queue, 8);
+                assert_eq!(opts.ledger, None);
+                assert_eq!(opts.rate, None);
+                assert_eq!(opts.engine, "gumbel");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemon_validates_options() {
+        assert!(parse(&argv("daemon --request-events 0")).is_err());
+        assert!(parse(&argv("daemon --insert-fraction 1.5")).is_err());
+        assert!(parse(&argv("daemon --k 0")).is_err());
+        assert!(parse(&argv("daemon --batch 0")).is_err());
+        assert!(parse(&argv("daemon --mutation-batch 0")).is_err());
+        assert!(parse(&argv("daemon --queue 0")).is_err());
+        assert!(parse(&argv("daemon --rate 0")).is_err());
+        assert!(parse(&argv("daemon --rate inf")).is_err());
+        assert!(parse(&argv("daemon --engine bogus")).is_err());
+        assert!(parse(&argv("daemon --budget -1")).is_err());
+        assert!(parse(&argv("daemon --ledger")).is_err());
+        assert!(parse(&argv("daemon --bogus")).is_err());
+    }
+
+    #[test]
+    fn attack_accepts_an_engine() {
+        let cmd = parse(&argv("attack --engine peel")).unwrap();
+        match cmd {
+            Command::Attack { opts } => assert_eq!(opts.engine, "peel"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("attack --engine bogus")).is_err());
     }
 
     #[test]

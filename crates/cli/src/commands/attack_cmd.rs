@@ -16,6 +16,7 @@ use psr_attack::{
 };
 use psr_graph::io::IdMap;
 use psr_graph::{Graph, GraphView, NodeId};
+use psr_privacy::TopKEngine;
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use serde::Serialize;
 
@@ -93,6 +94,10 @@ impl AdversaryRecord {
 struct AttackReport {
     dataset: String,
     utility: String,
+    /// Which top-k sampler served the transcripts (peel|gumbel; the two
+    /// are distributionally identical, so this is provenance, not a
+    /// privacy parameter).
+    engine: String,
     mechanism: String,
     /// `"edge"` (Definition 1) or `"node"` (Appendix A).
     adjacency: String,
@@ -148,6 +153,12 @@ fn parse_utility(opts: &AttackOptions) -> Box<dyn UtilityFunction> {
         "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
         other => unreachable!("arg parser admits only known utilities, got {other}"),
     }
+}
+
+fn parse_engine(opts: &AttackOptions) -> TopKEngine {
+    opts.engine
+        .parse()
+        .unwrap_or_else(|e| unreachable!("arg parser admits only known engines: {e}"))
 }
 
 fn parse_mechanism(opts: &AttackOptions) -> AttackMechanism {
@@ -267,6 +278,7 @@ fn run_edge(opts: &AttackOptions) {
         k: opts.k,
         trials_per_world: opts.trials,
         mechanism,
+        engine: parse_engine(opts),
         epochs,
         threads: opts.threads,
         seed: opts.seed,
@@ -285,6 +297,7 @@ fn run_edge(opts: &AttackOptions) {
     let report = AttackReport {
         dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
         utility: utility_name,
+        engine: parse_engine(opts).name().to_owned(),
         mechanism: opts.mechanism.clone(),
         adjacency: "edge".to_owned(),
         epsilon_per_observation: epsilon_per_observation(mechanism),
@@ -357,6 +370,7 @@ fn run_node(opts: &AttackOptions) {
         k: opts.k,
         trials_per_world: opts.trials,
         mechanism,
+        engine: parse_engine(opts),
         epochs,
         threads: opts.threads,
         seed: opts.seed,
@@ -382,6 +396,7 @@ fn run_node(opts: &AttackOptions) {
     let report = AttackReport {
         dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
         utility: utility_name,
+        engine: parse_engine(opts).name().to_owned(),
         mechanism: opts.mechanism.clone(),
         adjacency: "node".to_owned(),
         epsilon_per_observation: epsilon_per_observation(mechanism),

@@ -1,0 +1,159 @@
+//! `psr daemon` — the always-on serving loop: generate a timestamped
+//! request stream and an edge-mutation stream over the configured graph,
+//! multiplex them onto one clock, and drain the merged sequence through
+//! the epoch-pinned worker pool ([`run_daemon`]).
+//!
+//! With `--ledger path` the per-target ε spend is journalled to disk and
+//! replayed on the next start, so restarting the daemon never resets
+//! anyone's privacy budget. With `--rate r` ingestion paces at `r`
+//! logical ticks per wall second (pacing never changes results). The
+//! JSON report carries the full [`DaemonMetrics`] block — throughput,
+//! queue depth, budget rejections and per-epoch latency quantiles.
+
+use psr_core::serving::daemon::{multiplex, run_daemon, DaemonConfig, DaemonMetrics};
+use psr_core::serving::{RecommendationService, ServiceConfig};
+use psr_core::JournalLedger;
+use psr_gen::{
+    edge_stream, request_stream, rng_from_seed, split_seed, ReplayClock, RequestStreamParams,
+    StreamParams,
+};
+use psr_privacy::TopKEngine;
+use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
+use serde::Serialize;
+
+use crate::args::DaemonOptions;
+
+/// One epoch the daemon opened mid-stream.
+#[derive(Debug, Serialize)]
+struct EpochRecord {
+    version: u64,
+    time: u64,
+    insertions: usize,
+    deletions: usize,
+    dirty_targets: usize,
+    invalidated: usize,
+    compacted: bool,
+}
+
+/// The full report emitted by `psr daemon`.
+#[derive(Debug, Serialize)]
+struct DaemonReport {
+    utility: String,
+    engine: String,
+    epsilon_per_request: f64,
+    budget_per_target: f64,
+    sensitivity: f64,
+    ledger: String,
+    request_events: usize,
+    mutation_events: usize,
+    metrics: DaemonMetrics,
+    epochs: Vec<EpochRecord>,
+}
+
+pub fn run(opts: &DaemonOptions) {
+    let (graph, _ids) = super::load_serving_graph(
+        opts.input.as_deref(),
+        opts.directed,
+        &opts.preset,
+        opts.scale,
+        opts.seed,
+    );
+    let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
+        "common-neighbors" => Box::new(CommonNeighbors),
+        "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
+        other => unreachable!("arg parser admits only known utilities, got {other}"),
+    };
+    let utility_name = utility.name();
+    let engine: TopKEngine = opts
+        .engine
+        .parse()
+        .unwrap_or_else(|e| unreachable!("arg parser admits only known engines: {e}"));
+
+    // Distinct stream seeds split off the master so request and mutation
+    // draws never alias; the multiplexer splits per-batch seeds itself.
+    let requests = request_stream(
+        &graph,
+        RequestStreamParams { events: opts.request_events, k: opts.k },
+        &mut rng_from_seed(split_seed(opts.seed, 1)),
+    );
+    let mutations = if opts.mutation_events == 0 {
+        Vec::new()
+    } else {
+        edge_stream(
+            &graph,
+            StreamParams { events: opts.mutation_events, insert_fraction: opts.insert_fraction },
+            &mut rng_from_seed(split_seed(opts.seed, 2)),
+        )
+    };
+    let events = multiplex(&requests, opts.batch, &mutations, opts.mutation_batch, opts.seed);
+
+    let config = ServiceConfig {
+        epsilon_per_request: opts.epsilon,
+        budget_per_target: opts.budget,
+        engine,
+        threads: opts.threads,
+        ..Default::default()
+    };
+    let service = match &opts.ledger {
+        Some(path) => {
+            let ledger = JournalLedger::open(path, opts.budget)
+                .unwrap_or_else(|e| panic!("opening budget ledger {path}: {e}"));
+            RecommendationService::with_ledger(graph, utility, config, Box::new(ledger))
+        }
+        None => RecommendationService::new(graph, utility, config),
+    };
+
+    let run = run_daemon(
+        &service,
+        &events,
+        &DaemonConfig {
+            queue_capacity: opts.queue,
+            workers: opts.threads,
+            clock: opts.rate.map(ReplayClock::new),
+        },
+    )
+    .unwrap_or_else(|e| panic!("daemon stopped: {e}"));
+
+    let report = DaemonReport {
+        utility: utility_name,
+        engine: engine.name().to_owned(),
+        epsilon_per_request: opts.epsilon,
+        budget_per_target: opts.budget,
+        sensitivity: service.sensitivity(),
+        ledger: service.ledger_description(),
+        request_events: opts.request_events,
+        mutation_events: opts.mutation_events,
+        epochs: run
+            .applied
+            .iter()
+            .map(|applied| EpochRecord {
+                version: applied.epoch.version,
+                time: applied.time,
+                insertions: applied.epoch.insertions,
+                deletions: applied.epoch.deletions,
+                dirty_targets: applied.epoch.dirty_targets.len(),
+                invalidated: applied.epoch.invalidated,
+                compacted: applied.epoch.compacted,
+            })
+            .collect(),
+        metrics: run.metrics,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialisable");
+    let headline = format!(
+        "daemon drained {} requests ({} served, {} budget-rejected) across {} epochs \
+         at {:.0} req/s [{}]",
+        report.metrics.requests,
+        report.metrics.served,
+        report.metrics.rejected_for_budget,
+        report.epochs.len() + 1,
+        report.metrics.throughput_rps,
+        report.ledger,
+    );
+    match &opts.json {
+        Some(path) => {
+            std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("{headline} -> {path}");
+        }
+        None => println!("{json}"),
+    }
+}

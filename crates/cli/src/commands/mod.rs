@@ -3,6 +3,7 @@
 mod attack_cmd;
 mod bounds_cmd;
 mod claims_cmd;
+mod daemon_cmd;
 mod dataset_cmd;
 mod figure_cmd;
 mod recommend_cmd;
@@ -24,6 +25,7 @@ pub fn run(cmd: Command) {
         Command::Recommend { opts } => recommend_cmd::run(&opts),
         Command::Serve { opts } => serve_cmd::run(&opts),
         Command::Attack { opts } => attack_cmd::run(&opts),
+        Command::Daemon { opts } => daemon_cmd::run(&opts),
     }
 }
 

@@ -9,10 +9,14 @@
 //! epoch for the remaining chunks. Budgets persist across epochs (the
 //! paper's per-node guarantee composes over graph versions), and the
 //! report records what each epoch dirtied.
+//!
+//! Since the daemon landed, this command is a thin wrapper: it turns the
+//! chunks and the schedule into a [`DaemonEvent`] sequence and drains it
+//! through [`run_daemon`] with no pacing clock — the one-shot path *is*
+//! the daemon loop, so the two can never disagree.
 
-use psr_core::serving::{
-    BatchRequest, Epoch, RecommendationService, ServeError, Served, ServiceConfig,
-};
+use psr_core::serving::daemon::{run_daemon, DaemonConfig, DaemonEvent};
+use psr_core::serving::{BatchRequest, RecommendationService, ServeError, Served, ServiceConfig};
 use psr_gen::split_seed;
 use psr_graph::EdgeMutation;
 use psr_privacy::TopKEngine;
@@ -119,7 +123,7 @@ pub fn run(opts: &ServeOptions) {
         .engine
         .parse()
         .unwrap_or_else(|e| unreachable!("arg parser admits only known engines: {e}"));
-    let mut service = RecommendationService::new(
+    let service = RecommendationService::new(
         graph,
         utility,
         ServiceConfig {
@@ -131,34 +135,55 @@ pub fn run(opts: &ServeOptions) {
         },
     );
 
-    let mut records: Vec<OutcomeRecord> = Vec::with_capacity(requests.len());
-    let mut epochs: Vec<EpochRecord> = Vec::with_capacity(schedule.len());
-    for (round, chunk) in chunk_requests(&requests, schedule.len() + 1).iter().enumerate() {
+    // Assemble the daemon input: chunk r at synthetic time 2r+1, its
+    // mutation batch (if any) at 2r+2, so the sequence is time-ordered
+    // and request chunk r is pinned to epoch r exactly as the manual
+    // loop used to do.
+    let chunks = chunk_requests(&requests, schedule.len() + 1);
+    let mut events: Vec<DaemonEvent> = Vec::with_capacity(chunks.len() + schedule.len());
+    for (round, chunk) in chunks.iter().enumerate() {
         // Round 0 keeps the static-serve seed derivation so mutation-free
         // runs reproduce exactly what they did before epochs existed.
         let seed = if round == 0 { opts.seed } else { split_seed(opts.seed, round as u64) };
-        let outcomes = service.serve_batch(chunk, seed);
-        let epoch = service.epoch();
-        records.extend(
-            chunk
-                .iter()
-                .zip(&outcomes)
-                .map(|(request, outcome)| record(request, outcome, epoch, opts.epsilon)),
-        );
+        events.push(DaemonEvent::Requests {
+            time: 2 * round as u64 + 1,
+            seed,
+            requests: chunk.to_vec(),
+        });
         if let Some(batch) = schedule.get(round) {
-            let applied: Epoch = service
-                .apply_mutations(batch)
-                .unwrap_or_else(|e| panic!("applying mutation batch {round}: {e}"));
-            epochs.push(EpochRecord {
-                version: applied.version,
-                insertions: applied.insertions,
-                deletions: applied.deletions,
-                dirty_targets: applied.dirty_targets.len(),
-                invalidated: applied.invalidated,
-                compacted: applied.compacted,
+            events.push(DaemonEvent::Mutations {
+                time: 2 * round as u64 + 2,
+                mutations: batch.clone(),
             });
         }
     }
+    let run = run_daemon(&service, &events, &DaemonConfig::default()).unwrap_or_else(|e| {
+        // Mutation events sit at odd positions (after their chunk).
+        panic!("applying mutation batch {}: {}", (e.event - 1) / 2, e.source)
+    });
+
+    let records: Vec<OutcomeRecord> = run
+        .batches
+        .iter()
+        .flat_map(|batch| {
+            chunks[batch.index]
+                .iter()
+                .zip(&batch.outcomes)
+                .map(|(request, outcome)| record(request, outcome, batch.epoch, opts.epsilon))
+        })
+        .collect();
+    let epochs: Vec<EpochRecord> = run
+        .applied
+        .iter()
+        .map(|applied| EpochRecord {
+            version: applied.epoch.version,
+            insertions: applied.epoch.insertions,
+            deletions: applied.epoch.deletions,
+            dirty_targets: applied.epoch.dirty_targets.len(),
+            invalidated: applied.epoch.invalidated,
+            compacted: applied.epoch.compacted,
+        })
+        .collect();
 
     let report = ServeReport {
         utility: utility_name,

@@ -88,4 +88,7 @@ pub use experiment::{
     evaluate_target, run_experiment, ExperimentConfig, ExperimentResult, TargetEvaluation,
 };
 pub use pipeline::{Recommender, RecommenderConfig};
-pub use serving::{BatchRequest, RecommendationService, ServeError, Served, ServiceConfig};
+pub use serving::{
+    BatchRequest, BudgetLedger, EpochPin, JournalLedger, RecommendationService, ServeError, Served,
+    ServiceConfig,
+};

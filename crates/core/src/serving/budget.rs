@@ -82,6 +82,16 @@ impl BudgetAccountant {
         Ok(())
     }
 
+    /// Records `eps` of spend against `target` without an admission
+    /// check. This is the journal-replay primitive: a restarted ledger
+    /// must reconstruct spend *as charged*, even where floating-point
+    /// slack let the original admission land a hair past the nominal
+    /// budget — clamping on replay would silently refund privacy.
+    pub fn restore(&mut self, target: NodeId, eps: f64) {
+        assert!(eps > 0.0, "restored spend must be positive, got {eps}");
+        *self.spent.entry(target).or_insert(0.0) += eps;
+    }
+
     /// Forgets all spend, e.g. after a privacy epoch rollover.
     pub fn reset(&mut self) {
         self.spent.clear();
@@ -141,5 +151,17 @@ mod tests {
     #[should_panic(expected = "budget must be positive")]
     fn zero_budget_rejected() {
         let _ = BudgetAccountant::new(0.0);
+    }
+
+    #[test]
+    fn restore_skips_the_admission_check() {
+        let mut acc = BudgetAccountant::new(1.0);
+        // Replay may carry spend past the nominal budget (slack admitted
+        // it originally); restore must take it verbatim.
+        acc.restore(4, 0.7);
+        acc.restore(4, 0.7);
+        assert!((acc.spent(4) - 1.4).abs() < 1e-12);
+        assert_eq!(acc.remaining(4), 0.0);
+        assert!(acc.try_charge(4, 0.1).is_err(), "restored spend still gates admission");
     }
 }

@@ -1,5 +1,6 @@
 //! Batch recommendation serving: many `(target, k)` requests against one
-//! shared graph, under per-target privacy budgets, across graph epochs.
+//! shared graph, under per-target privacy budgets, across graph epochs —
+//! structured so the service can run as an always-on daemon.
 //!
 //! The single-query [`crate::Recommender`] answers one ε-private
 //! recommendation per call and recomputes the target's candidate set and
@@ -7,59 +8,72 @@
 //! recommendations"; the measurement setting of Laro et al. 2023) look
 //! different: bursts of requests, several slots per target, a *cumulative*
 //! privacy budget that must eventually say no — and a social graph that
-//! keeps mutating underneath. The [`RecommendationService`] packages that
-//! deployment shape:
+//! keeps mutating underneath, while the service keeps answering. The
+//! [`RecommendationService`] packages that deployment shape in three
+//! layers:
 //!
-//! * **Shared graph** — the service reads through a
-//!   [`psr_graph::DeltaGraph`] whose CSR base sits behind an [`Arc`], so
-//!   any number of services, [`crate::Recommender`]s and experiment
-//!   harnesses serve from one in-memory snapshot.
-//! * **Worker pool** — a batch is fanned across `threads` workers with
-//!   the same per-request RNG-stream splitting the experiment pipeline
-//!   uses, so results are bit-identical regardless of thread count or
-//!   scheduling.
-//! * **Per-target cache** — each target's [`CandidateSet`] and
-//!   [`psr_utility::UtilityVector`] are computed once per epoch and
-//!   reused by every request (and batch) that asks about it; the
-//!   configured top-`k` engine ([`psr_privacy::topk`], one-pass
-//!   Gumbel-max by default, `k`-round peeling as the reference) serves
-//!   all `k` slots from the cached vector, charging ε/k per slot (basic
-//!   composition ⇒ ε per request).
-//! * **Versioned epochs** — [`RecommendationService::apply_mutations`]
-//!   applies a batch of edge [`EdgeMutation`]s atomically (all-or-nothing)
-//!   to the overlay and bumps the epoch. Only *dirty targets* — nodes
-//!   within the utility's
-//!   [`invalidation radius`](UtilityFunction::invalidation_radius) of a
-//!   mutated endpoint, in the pre- or post-mutation graph — have their
-//!   cached state invalidated; everyone else keeps serving from cache.
-//!   (Directed graphs and unbounded-radius utilities conservatively
-//!   invalidate every target.) The overlay is folded back into a fresh
-//!   CSR base once it covers more than a quarter of the nodes.
-//! * **Budget accounting** — an admission-time [`BudgetAccountant`]
-//!   refuses requests whose target has exhausted its ε budget, with a
-//!   typed [`ServeError::BudgetExhausted`] instead of a silent answer.
+//! * **[`epoch`] — RCU-style epoch-pinned reads.** All read state (the
+//!   [`psr_graph::DeltaGraph`] view, the calibrated Δf, the per-target
+//!   candidate/utility cache) is frozen into an immutable per-epoch
+//!   snapshot behind an atomic swap point. Readers
+//!   [`pin`](RecommendationService::pin) an epoch and are from then on
+//!   untouched by writers: [`RecommendationService::apply_mutations`]
+//!   takes `&self`, stages the next epoch on a copy, and swaps the
+//!   pointer — in-flight batches drain on the epoch they pinned with
+//!   bit-identical results, and mutation batches never stall the read
+//!   path. Writers serialise on a staging lock; readers never block.
+//! * **[`ledger`] — a persistent budget ledger.** Budget admission runs
+//!   through the [`BudgetLedger`] trait; [`JournalLedger`] is the
+//!   append-only on-disk implementation whose replay makes per-target ε
+//!   spend survive restarts — spend is the one piece of state that must
+//!   never reset. Charges are fsynced once per admitted batch *before*
+//!   any result is released.
+//! * **[`daemon`] — the ingestion loop.** [`daemon::run_daemon`]
+//!   multiplexes timestamped request and mutation streams
+//!   (`psr_gen::stream`) through the worker pool with a bounded queue
+//!   and backpressure, recording per-epoch latency histograms,
+//!   throughput, queue depth and budget-rejection counts. The one-shot
+//!   `psr serve` path is the same loop run without pacing, drained to
+//!   completion.
+//!
+//! Serving semantics within one epoch are unchanged from the original
+//! batch server: worker-pool evaluation with per-request RNG streams
+//! (bit-identical across thread counts), per-target candidate/utility
+//! caching, the configured top-`k` engine ([`psr_privacy::topk`]) at
+//! ε/k per slot, and admission-time budget enforcement with typed
+//! refusals. Mutation batches are atomic all-or-nothing, invalidate
+//! exactly the targets within the utility's invalidation radius of a
+//! mutated endpoint, and fold the overlay into a fresh CSR base when it
+//! covers more than a quarter of the nodes.
 //!
 //! # ε budgets across epochs
 //!
-//! Budgets are **per target, across graph versions**: mutating the graph
-//! neither refunds nor resets anyone's spend. This matches the paper's
-//! per-node guarantee — differential privacy composes over *queries about
-//! a node*, and each applied mutation moves the graph to an edge-adjacent
-//! neighbour in the sense of Definition 1, not to a fresh database. A
-//! deployment that wants periodic budget refresh keeps the explicit
-//! [`RecommendationService::reset_budgets`] epoch-rollover call.
+//! Budgets are **per target, across graph versions and process
+//! restarts**: mutating the graph neither refunds nor resets anyone's
+//! spend, and with a [`JournalLedger`] neither does killing the daemon.
+//! This matches the paper's per-node guarantee — differential privacy
+//! composes over *queries about a node*, and each applied mutation moves
+//! the graph to an edge-adjacent neighbour in the sense of Definition 1,
+//! not to a fresh database. A deployment that wants periodic budget
+//! refresh keeps the explicit [`RecommendationService::reset_budgets`]
+//! epoch-rollover call.
 
 mod budget;
+pub mod daemon;
+mod epoch;
+mod ledger;
 
 pub use budget::{BudgetAccountant, BudgetExceeded};
+pub use epoch::EpochPin;
+pub use ledger::{BudgetLedger, JournalLedger};
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::{Arc, Mutex, RwLock};
 
-use psr_gen::seed::{rng_from_seed, split_seed};
+use epoch::EpochState;
 use psr_graph::{DeltaGraph, EdgeMutation, Graph, GraphError, GraphView, MutationOp, NodeId};
-use psr_privacy::{resolve_zero_class_distinct, topk, TopKEngine};
-use psr_utility::{CandidateSet, SensitivityNorm, UtilityFunction, UtilityVector};
+use psr_privacy::TopKEngine;
+use psr_utility::{SensitivityNorm, UtilityFunction};
 use serde::{Deserialize, Serialize};
 
 /// One entry of a serving batch: `k` recommendation slots for `target`.
@@ -240,14 +254,6 @@ pub struct Epoch {
     pub compacted: bool,
 }
 
-/// A target's per-epoch serving state, computed once and shared by every
-/// request about the target until a mutation dirties it.
-#[derive(Debug)]
-struct TargetState {
-    candidates: CandidateSet,
-    utilities: UtilityVector,
-}
-
 /// Fraction of nodes the overlay may dirty before the service re-bases
 /// onto a compacted CSR (¼ keeps overlay map probes rare on hot paths).
 const COMPACT_DIRTY_FRACTION: f64 = 0.25;
@@ -255,18 +261,22 @@ const COMPACT_DIRTY_FRACTION: f64 = 0.25;
 /// A batch recommendation server over a shared, mutable graph. See the
 /// [module docs](self) for the architecture and the epoch model.
 pub struct RecommendationService {
-    delta: DeltaGraph,
-    epoch: u64,
+    /// The RCU swap point: the current epoch. Readers take the read lock
+    /// only long enough to clone the `Arc`; writers swap a fully-staged
+    /// next epoch in. Nobody holds it across actual work.
+    current: RwLock<Arc<EpochState>>,
+    /// Serialises writers (`apply_mutations` / `compact`) so two staged
+    /// epochs can never race each other past the swap point.
+    staging: Mutex<()>,
     utility: Arc<dyn UtilityFunction>,
     config: ServiceConfig,
-    sensitivity: f64,
-    accountant: Mutex<BudgetAccountant>,
-    cache: Mutex<HashMap<NodeId, Arc<TargetState>>>,
+    ledger: Mutex<Box<dyn BudgetLedger>>,
 }
 
 impl RecommendationService {
-    /// Assembles a service at epoch 0. Accepts an owned [`Graph`] or an
-    /// [`Arc<Graph>`] already shared with other consumers.
+    /// Assembles a service at epoch 0 with a volatile in-memory budget
+    /// ledger. Accepts an owned [`Graph`] or an [`Arc<Graph>`] already
+    /// shared with other consumers.
     ///
     /// # Panics
     /// Panics if ε or the budget is not positive, or if the utility
@@ -276,19 +286,57 @@ impl RecommendationService {
         utility: Box<dyn UtilityFunction>,
         config: ServiceConfig,
     ) -> Self {
+        let ledger = Box::new(BudgetAccountant::new(config.budget_per_target));
+        Self::with_ledger(graph, utility, config, ledger)
+    }
+
+    /// Assembles a service at epoch 0 over an explicit budget ledger —
+    /// typically a [`JournalLedger`] carrying spend replayed from a
+    /// previous run.
+    ///
+    /// # Panics
+    /// Panics if ε is not positive, if the utility reports no sensitivity
+    /// and none is overridden, or if the ledger's budget disagrees with
+    /// the configured one (a ledger replayed against a different budget
+    /// would mis-account every target).
+    pub fn with_ledger(
+        graph: impl Into<Arc<Graph>>,
+        utility: Box<dyn UtilityFunction>,
+        config: ServiceConfig,
+        ledger: Box<dyn BudgetLedger>,
+    ) -> Self {
         assert!(config.epsilon_per_request > 0.0, "epsilon must be positive");
-        let delta = DeltaGraph::new(graph);
+        assert!(
+            ledger.budget_per_target() == config.budget_per_target,
+            "ledger budget {} disagrees with configured budget {}",
+            ledger.budget_per_target(),
+            config.budget_per_target,
+        );
+        let graph = DeltaGraph::new(graph);
         let utility: Arc<dyn UtilityFunction> = Arc::from(utility);
-        let sensitivity = calibrate(&config, utility.as_ref(), &delta);
+        let sensitivity = calibrate(&config, utility.as_ref(), &graph);
+        let state = EpochState::new(
+            0,
+            graph,
+            sensitivity,
+            Arc::clone(&utility),
+            config,
+            std::collections::HashMap::new(),
+        );
         RecommendationService {
-            delta,
-            epoch: 0,
+            current: RwLock::new(Arc::new(state)),
+            staging: Mutex::new(()),
             utility,
             config,
-            sensitivity,
-            accountant: Mutex::new(BudgetAccountant::new(config.budget_per_target)),
-            cache: Mutex::new(HashMap::new()),
+            ledger: Mutex::new(ledger),
         }
+    }
+
+    /// Pins the current epoch: an O(1) `Arc` clone of the swap point.
+    /// Everything the pin exposes (graph view, Δf, cache) stays frozen
+    /// and valid while later epochs are staged and swapped in.
+    pub fn pin(&self) -> EpochPin {
+        EpochPin { state: Arc::clone(&self.current.read().expect("epoch swap point")) }
     }
 
     /// A shared handle to the current epoch's CSR base, for wiring
@@ -296,29 +344,30 @@ impl RecommendationService {
     /// Pending overlay mutations (if any) are *not* visible through it;
     /// [`RecommendationService::snapshot`] materialises them.
     pub fn shared_graph(&self) -> Arc<Graph> {
-        Arc::clone(self.delta.base())
+        Arc::clone(self.pin().state.graph.base())
     }
 
-    /// The current read view: base CSR plus pending overlay mutations.
-    pub fn view(&self) -> &DeltaGraph {
-        &self.delta
+    /// The current read view, pinned: base CSR plus pending overlay
+    /// mutations as of the current epoch.
+    pub fn view(&self) -> EpochPin {
+        self.pin()
     }
 
     /// A fresh CSR snapshot of the current edge set (compacts the
     /// overlay; the service itself is unchanged).
     pub fn snapshot(&self) -> Graph {
-        self.delta.compact()
+        self.pin().state.graph.compact()
     }
 
     /// The current graph version: 0 at construction, +1 per applied
     /// mutation batch.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.pin().version()
     }
 
     /// The calibrated sensitivity `Δf` for the current epoch.
     pub fn sensitivity(&self) -> f64 {
-        self.sensitivity
+        self.pin().sensitivity()
     }
 
     /// The service configuration.
@@ -328,14 +377,30 @@ impl RecommendationService {
 
     /// ε still available for `target`.
     pub fn remaining_budget(&self, target: NodeId) -> f64 {
-        self.accountant.lock().expect("accountant lock").remaining(target)
+        self.ledger.lock().expect("ledger lock").remaining(target)
     }
 
-    /// Forgets all budget spend (privacy epoch rollover). Note that
-    /// *graph* epochs ([`RecommendationService::apply_mutations`]) never
-    /// do this implicitly — see the module docs.
+    /// Cumulative ε spent on `target` (admitted charges, synced or not).
+    pub fn spent_budget(&self, target: NodeId) -> f64 {
+        self.ledger.lock().expect("ledger lock").spent(target)
+    }
+
+    /// The backing budget ledger, for reports (`"memory"` or
+    /// `"journal:<path>"`).
+    pub fn ledger_description(&self) -> String {
+        self.ledger.lock().expect("ledger lock").description()
+    }
+
+    /// Durably forgets all budget spend (privacy epoch rollover). Note
+    /// that *graph* epochs ([`RecommendationService::apply_mutations`])
+    /// never do this implicitly — see the module docs.
+    ///
+    /// # Panics
+    /// Panics if a persistent ledger fails to record the rollover: a
+    /// reset that is forgotten on restart would resurrect pre-rollover
+    /// spend on top of post-rollover charges.
     pub fn reset_budgets(&self) {
-        self.accountant.lock().expect("accountant lock").reset();
+        self.ledger.lock().expect("ledger lock").reset().expect("budget ledger reset");
     }
 
     /// Applies a batch of edge mutations atomically and starts a new
@@ -344,10 +409,17 @@ impl RecommendationService {
     /// over untouched. On error nothing changes — not the graph, not the
     /// epoch, not the caches. An empty batch is a no-op: same epoch, no
     /// invalidation.
-    pub fn apply_mutations(&mut self, mutations: &[EdgeMutation]) -> Result<Epoch, MutationError> {
+    ///
+    /// Takes `&self`: the next epoch is staged on a copy and swapped in
+    /// atomically, so concurrent readers keep draining on their pinned
+    /// epoch throughout (writers serialise among themselves on the
+    /// staging lock).
+    pub fn apply_mutations(&self, mutations: &[EdgeMutation]) -> Result<Epoch, MutationError> {
+        let _writer = self.staging.lock().expect("staging lock");
+        let old = self.pin().state;
         if mutations.is_empty() {
             return Ok(Epoch {
-                version: self.epoch,
+                version: old.version,
                 insertions: 0,
                 deletions: 0,
                 dirty_targets: Vec::new(),
@@ -355,16 +427,14 @@ impl RecommendationService {
                 compacted: false,
             });
         }
-        // Stage on a copy so a mid-batch rejection cannot leave a
-        // half-applied overlay behind.
-        let mut staged = self.delta.clone();
-        for (index, mutation) in mutations.iter().enumerate() {
-            staged.apply(mutation).map_err(|source| MutationError::Rejected {
-                index,
-                mutation: *mutation,
-                source,
-            })?;
-        }
+        // Stage on a copy: a mid-batch rejection leaves nothing behind,
+        // and pinned readers never see a half-applied overlay.
+        let mut staged = old.graph.clone();
+        staged.apply_all(mutations).map_err(|(index, source)| MutationError::Rejected {
+            index,
+            mutation: mutations[index],
+            source,
+        })?;
 
         let num_nodes = staged.num_nodes();
         let dirty_targets: Vec<NodeId> = match self.utility.invalidation_radius() {
@@ -379,37 +449,38 @@ impl RecommendationService {
                 // edge's influence is visible from the pre-mutation
                 // adjacency, an inserted edge's from the post-mutation
                 // one.
-                mark_ball(&self.delta, &seeds, radius, &mut marked);
+                mark_ball(&old.graph, &seeds, radius, &mut marked);
                 mark_ball(&staged, &seeds, radius, &mut marked);
                 marked.iter().enumerate().filter(|&(_, &m)| m).map(|(v, _)| v as NodeId).collect()
             }
             _ => (0..num_nodes as NodeId).collect(),
         };
 
-        let invalidated = {
-            let mut cache = self.cache.lock().expect("cache lock");
-            if dirty_targets.len() == num_nodes {
-                let n = cache.len();
-                cache.clear();
-                n
-            } else {
-                dirty_targets.iter().filter(|t| cache.remove(t).is_some()).count()
-            }
-        };
+        // The next epoch inherits every clean target's cached state; the
+        // old epoch keeps its full cache for readers still pinned to it.
+        let all_dirty = dirty_targets.len() == num_nodes;
+        let (cache, invalidated) = old.cache_without(&dirty_targets, all_dirty);
 
-        // Commit: new overlay, new epoch, re-calibrated Δf (it may depend
-        // on the maximum degree, which the batch can change).
-        self.delta = staged;
-        self.epoch += 1;
-        self.sensitivity = calibrate(&self.config, self.utility.as_ref(), &self.delta);
-
-        let compacted = self.delta.num_dirty() as f64 > COMPACT_DIRTY_FRACTION * num_nodes as f64;
+        // Re-calibrate Δf (it may depend on the maximum degree, which the
+        // batch can change) and fold the overlay when it got heavy.
+        let sensitivity = calibrate(&self.config, self.utility.as_ref(), &staged);
+        let compacted = staged.num_dirty() as f64 > COMPACT_DIRTY_FRACTION * num_nodes as f64;
         if compacted {
-            self.delta = DeltaGraph::new(self.delta.compact());
+            staged = DeltaGraph::new(staged.compact());
         }
 
+        let next = EpochState::new(
+            old.version + 1,
+            staged,
+            sensitivity,
+            Arc::clone(&self.utility),
+            self.config,
+            cache,
+        );
+        *self.current.write().expect("epoch swap point") = Arc::new(next);
+
         Ok(Epoch {
-            version: self.epoch,
+            version: old.version + 1,
             insertions: mutations.iter().filter(|m| m.op == MutationOp::Insert).count(),
             deletions: mutations.iter().filter(|m| m.op == MutationOp::Delete).count(),
             dirty_targets,
@@ -420,40 +491,59 @@ impl RecommendationService {
 
     /// Folds any pending overlay mutations into a fresh CSR base now,
     /// regardless of overlay size. Reads, caches, budgets and the epoch
-    /// are unaffected (the edge set does not change); returns whether
-    /// there was anything to fold.
-    pub fn compact(&mut self) -> bool {
-        if self.delta.is_clean() {
+    /// version are unaffected (the edge set does not change); returns
+    /// whether there was anything to fold.
+    pub fn compact(&self) -> bool {
+        let _writer = self.staging.lock().expect("staging lock");
+        let old = self.pin().state;
+        if old.graph.is_clean() {
             return false;
         }
-        self.delta = DeltaGraph::new(self.delta.compact());
+        let next = EpochState::new(
+            old.version,
+            DeltaGraph::new(old.graph.compact()),
+            old.sensitivity,
+            Arc::clone(&self.utility),
+            self.config,
+            old.cache_clone(),
+        );
+        *self.current.write().expect("epoch swap point") = Arc::new(next);
         true
     }
 
-    /// Serves a whole batch. Outcomes are returned in request order and
-    /// are bit-identical for a given `(requests, seed)` and mutation
-    /// history, regardless of the configured thread count and of how warm
-    /// the per-target cache is.
+    /// Serves a whole batch against the *current* epoch. Outcomes are
+    /// returned in request order and are bit-identical for a given
+    /// `(requests, seed)` and mutation history, regardless of the
+    /// configured thread count and of how warm the per-target cache is.
     ///
     /// Budget admission runs sequentially in request order *before* any
     /// evaluation (so "which request hit the budget wall" never depends
-    /// on scheduling); admitted requests are then evaluated on the worker
-    /// pool, each with an RNG stream split from `seed` and its request
-    /// index.
+    /// on scheduling), and the ledger is synced before any evaluation
+    /// begins; admitted requests are then evaluated on the worker pool,
+    /// each with an RNG stream split from `seed` and its request index.
     pub fn serve_batch(
         &self,
         requests: &[BatchRequest],
         seed: u64,
     ) -> Vec<Result<Served, ServeError>> {
-        // Phase 1 — validation + budget admission, sequential.
-        let mut outcomes: Vec<Option<Result<Served, ServeError>>> = Vec::new();
-        {
-            let mut accountant = self.accountant.lock().expect("accountant lock");
-            for request in requests {
-                let rejection = self.admit(&mut accountant, request);
-                outcomes.push(rejection.map(Err));
-            }
-        }
+        self.serve_batch_pinned(&self.pin(), requests, seed)
+    }
+
+    /// [`RecommendationService::serve_batch`] against an explicit pinned
+    /// epoch. Admission still charges the live ledger (budgets are global
+    /// across epochs by design); evaluation reads only the pin, so a
+    /// batch pinned to epoch N completes identically even while later
+    /// epochs are staged and swapped in.
+    pub fn serve_batch_pinned(
+        &self,
+        pin: &EpochPin,
+        requests: &[BatchRequest],
+        seed: u64,
+    ) -> Vec<Result<Served, ServeError>> {
+        // Phase 1 — validation + budget admission + durability point.
+        let admissions = self.admit_batch(pin, requests);
+        let mut outcomes: Vec<Option<Result<Served, ServeError>>> =
+            admissions.into_iter().map(|r| r.map(Err)).collect();
 
         // Phase 2 — evaluation of admitted requests on the worker pool.
         let admitted: Vec<usize> = (0..requests.len()).filter(|&i| outcomes[i].is_none()).collect();
@@ -464,11 +554,12 @@ impl RecommendationService {
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()))
             .max(1);
         let chunk_size = admitted.len().div_ceil(threads).max(1);
+        let state = &pin.state;
         std::thread::scope(|scope| {
             for (chunk, out) in admitted.chunks(chunk_size).zip(served.chunks_mut(chunk_size)) {
                 scope.spawn(move || {
                     for (slot, &index) in out.iter_mut().zip(chunk) {
-                        *slot = Some(self.evaluate(&requests[index], index, seed));
+                        *slot = Some(state.evaluate(&requests[index], index, seed));
                     }
                 });
             }
@@ -488,90 +579,44 @@ impl RecommendationService {
             .expect("one request, one outcome")
     }
 
-    /// Validates a request and charges its budget; `None` means admitted.
-    fn admit(
+    /// Validates and budget-admits a batch against `pin`, in request
+    /// order under the ledger lock, then syncs the ledger so every
+    /// admitted charge is durable before any result can be released.
+    /// `None` per slot means admitted.
+    ///
+    /// # Panics
+    /// Panics if the ledger sync fails: a service that cannot persist its
+    /// charges must stop answering, not serve on credit.
+    pub(crate) fn admit_batch(
         &self,
-        accountant: &mut BudgetAccountant,
-        request: &BatchRequest,
-    ) -> Option<ServeError> {
-        if (request.target as usize) >= self.delta.num_nodes() {
-            return Some(ServeError::UnknownTarget {
-                target: request.target,
-                num_nodes: self.delta.num_nodes(),
-            });
-        }
-        if request.k == 0 {
-            return Some(ServeError::InvalidK { target: request.target });
-        }
-        match accountant.try_charge(request.target, self.config.epsilon_per_request) {
-            Ok(()) => None,
-            Err(BudgetExceeded { target, requested, remaining }) => {
-                Some(ServeError::BudgetExhausted { target, requested, remaining })
-            }
-        }
+        pin: &EpochPin,
+        requests: &[BatchRequest],
+    ) -> Vec<Option<ServeError>> {
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        let admissions = requests.iter().map(|r| admit(ledger.as_mut(), &pin.state, r)).collect();
+        ledger.sync().expect("budget ledger sync failed; refusing to release results");
+        admissions
     }
+}
 
-    /// The target's epoch state: cached when present, computed (and
-    /// cached) otherwise. Computation happens outside the cache lock —
-    /// two workers racing on one target both compute the same pure value
-    /// and the second insert is a no-op.
-    fn target_state(&self, target: NodeId) -> Arc<TargetState> {
-        if let Some(state) = self.cache.lock().expect("cache lock").get(&target) {
-            return Arc::clone(state);
-        }
-        let candidates = CandidateSet::for_target(&self.delta, target);
-        let utilities = self.utility.utilities(&self.delta, target, &candidates);
-        let computed = Arc::new(TargetState { candidates, utilities });
-        let mut cache = self.cache.lock().expect("cache lock");
-        Arc::clone(cache.entry(target).or_insert(computed))
+/// Validates a request and charges its budget; `None` means admitted.
+fn admit(
+    ledger: &mut dyn BudgetLedger,
+    state: &EpochState,
+    request: &BatchRequest,
+) -> Option<ServeError> {
+    let num_nodes = state.graph.num_nodes();
+    if (request.target as usize) >= num_nodes {
+        return Some(ServeError::UnknownTarget { target: request.target, num_nodes });
     }
-
-    /// Evaluates one admitted request: candidate set and utility vector
-    /// from the epoch cache, then `k` slots peeled from them.
-    fn evaluate(
-        &self,
-        request: &BatchRequest,
-        index: usize,
-        seed: u64,
-    ) -> Result<Served, ServeError> {
-        // Per-request stream keyed by batch index: reordering worker
-        // threads cannot change any request's result, and duplicate
-        // targets within a batch get independent draws.
-        let mut rng = rng_from_seed(split_seed(seed, 0xBA_0000 + index as u64));
-
-        let state = self.target_state(request.target);
-        if state.candidates.is_empty() {
-            return Err(ServeError::NoCandidates { target: request.target });
+    if request.k == 0 {
+        return Some(ServeError::InvalidK { target: request.target });
+    }
+    match ledger.try_charge(request.target, state.config.epsilon_per_request) {
+        Ok(()) => None,
+        Err(BudgetExceeded { target, requested, remaining }) => {
+            Some(ServeError::BudgetExhausted { target, requested, remaining })
         }
-        let u = &state.utilities;
-        let k = request.k.min(u.len());
-        let top = topk::topk_with_engine(
-            self.config.engine,
-            u,
-            k,
-            self.config.epsilon_per_request,
-            self.sensitivity,
-            &mut rng,
-        );
-
-        // Resolve anonymous zero-class slots to distinct concrete nodes.
-        let zero_slots = top.picks.iter().filter(|p| p.is_none()).count();
-        let mut zero_picks =
-            resolve_zero_class_distinct(zero_slots, u, &state.candidates, &mut rng).into_iter();
-        let recommendations: Vec<NodeId> = top
-            .picks
-            .iter()
-            .map(|pick| pick.unwrap_or_else(|| zero_picks.next().expect("class large enough")))
-            .collect();
-
-        Ok(Served {
-            target: request.target,
-            requested_k: request.k,
-            recommendations,
-            zero_class_picks: zero_slots,
-            total_utility: top.total_utility,
-            epsilon_spent: self.config.epsilon_per_request,
-        })
     }
 }
 
@@ -612,7 +657,7 @@ fn mark_ball(view: &DeltaGraph, seeds: &BTreeSet<NodeId>, radius: usize, marked:
 mod tests {
     use super::*;
     use psr_datasets::toy::karate_club;
-    use psr_utility::CommonNeighbors;
+    use psr_utility::{CandidateSet, CommonNeighbors};
 
     fn service(config: ServiceConfig) -> RecommendationService {
         RecommendationService::new(karate_club(), Box::new(CommonNeighbors), config)
@@ -705,7 +750,7 @@ mod tests {
     fn oversized_k_is_clamped_to_the_candidate_set() {
         let svc = service(ServiceConfig::default());
         let served = svc.serve_one(0, 10_000, 3).unwrap();
-        let candidates = CandidateSet::for_target(svc.view(), 0);
+        let candidates = CandidateSet::for_target(&svc.view(), 0);
         assert_eq!(served.requested_k, 10_000);
         assert_eq!(served.recommendations.len(), candidates.len());
         let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
@@ -723,7 +768,7 @@ mod tests {
         });
         let served = svc.serve_one(0, 8, 11).unwrap();
         assert!(served.zero_class_picks > 0, "tiny ε must hit the zero class");
-        let candidates = CandidateSet::for_target(svc.view(), 0);
+        let candidates = CandidateSet::for_target(&svc.view(), 0);
         let set: std::collections::HashSet<_> = served.recommendations.iter().collect();
         assert_eq!(set.len(), served.recommendations.len());
         for &v in &served.recommendations {
@@ -794,8 +839,19 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "disagrees with configured budget")]
+    fn mismatched_ledger_budget_rejected() {
+        let _ = RecommendationService::with_ledger(
+            karate_club(),
+            Box::new(CommonNeighbors),
+            ServiceConfig::default(),
+            Box::new(BudgetAccountant::new(3.0)),
+        );
+    }
+
+    #[test]
     fn mutations_open_a_new_epoch_and_update_reads() {
-        let mut svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig::default());
         assert_eq!(svc.epoch(), 0);
         assert!(svc.view().has_edge(0, 1));
         let epoch =
@@ -807,12 +863,27 @@ mod tests {
         assert!(!svc.view().has_edge(0, 1));
         assert!(svc.view().has_edge(0, 9));
         // Recommendations in the new epoch respect the new edge set.
-        let svc2 = svc; // serve immutably
-        let served = svc2.serve_one(0, 3, 7).unwrap();
+        let served = svc.serve_one(0, 3, 7).unwrap();
         for &v in &served.recommendations {
-            assert!(!svc2.view().has_edge(0, v));
+            assert!(!svc.view().has_edge(0, v));
             assert_ne!(v, 0);
         }
+    }
+
+    #[test]
+    fn pinned_epoch_survives_later_mutations() {
+        // The RCU contract in miniature: a pin taken before a mutation
+        // batch keeps reading (and serving) the old graph version.
+        let svc = service(ServiceConfig { budget_per_target: f64::INFINITY, ..Default::default() });
+        let pin = svc.pin();
+        let before = svc.serve_batch_pinned(&pin, &requests(2), 21);
+        svc.apply_mutations(&[EdgeMutation::delete(0, 1), EdgeMutation::insert(24, 16)]).unwrap();
+        assert_eq!(pin.version(), 0);
+        assert_eq!(svc.epoch(), 1);
+        assert!(pin.has_edge(0, 1), "the pin still reads epoch 0");
+        assert!(!svc.view().has_edge(0, 1), "fresh pins read epoch 1");
+        let replay = svc.serve_batch_pinned(&pin, &requests(2), 21);
+        assert_eq!(before, replay, "pinned serving is bit-identical across the swap");
     }
 
     #[test]
@@ -820,7 +891,7 @@ mod tests {
         // Common neighbours has invalidation radius 1: the dirty set is
         // the endpoints plus their neighbours (old and new), not the
         // whole karate club.
-        let mut svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig::default());
         let graph = svc.shared_graph();
         // Warm every target's cache.
         let _ = svc.serve_batch(&requests(1), 3);
@@ -835,7 +906,7 @@ mod tests {
 
     #[test]
     fn rejected_batch_changes_nothing() {
-        let mut svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig::default());
         let before = svc.serve_batch(&requests(2), 9);
         svc.reset_budgets();
         let err = svc
@@ -860,7 +931,7 @@ mod tests {
 
     #[test]
     fn empty_mutation_batch_is_a_no_op() {
-        let mut svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig::default());
         let _ = svc.serve_batch(&requests(1), 3); // warm caches
         let epoch = svc.apply_mutations(&[]).unwrap();
         assert_eq!(epoch.version, 0, "no change, no new epoch");
@@ -871,7 +942,7 @@ mod tests {
 
     #[test]
     fn budgets_carry_across_epochs() {
-        let mut svc = service(ServiceConfig {
+        let svc = service(ServiceConfig {
             epsilon_per_request: 1.0,
             budget_per_target: 2.0,
             ..Default::default()
@@ -889,7 +960,7 @@ mod tests {
 
     #[test]
     fn heavy_mutation_batch_triggers_compaction() {
-        let mut svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig::default());
         let base = svc.shared_graph();
         // Dirty well over a quarter of the 34 nodes: fresh edges between
         // disjoint endpoint pairs.
@@ -901,7 +972,7 @@ mod tests {
         assert!(muts.len() >= 10);
         let epoch = svc.apply_mutations(&muts).unwrap();
         assert!(epoch.compacted);
-        assert!(svc.view().is_clean(), "overlay folded into the new base");
+        assert!(svc.view().graph().is_clean(), "overlay folded into the new base");
         assert!(!Arc::ptr_eq(&svc.shared_graph(), &base), "re-based onto a fresh CSR");
         for m in &muts {
             assert!(svc.view().has_edge(m.u, m.v));
@@ -910,7 +981,7 @@ mod tests {
 
     #[test]
     fn explicit_compact_preserves_reads_and_epoch() {
-        let mut svc = service(ServiceConfig::default());
+        let svc = service(ServiceConfig::default());
         svc.apply_mutations(&[EdgeMutation::insert(24, 16)]).unwrap();
         let before = svc.snapshot();
         let epoch = svc.epoch();

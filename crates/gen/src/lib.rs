@@ -35,5 +35,8 @@ pub use config_model::erased_configuration_model;
 pub use degrees::{powerlaw_degree_sequence, PowerLawParams};
 pub use erdos_renyi::{gnm, gnp};
 pub use seed::{rng_from_seed, split_seed};
-pub use stream::{edge_stream, StreamEvent, StreamParams};
+pub use stream::{
+    edge_stream, request_stream, ReplayClock, RequestEvent, RequestStreamParams, StreamEvent,
+    StreamParams,
+};
 pub use watts_strogatz::watts_strogatz;

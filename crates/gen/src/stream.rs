@@ -9,6 +9,8 @@
 //! `psr serve --mutations`) never faults. Streams are deterministic given
 //! an RNG, like every other generator in this crate.
 
+use std::time::Duration;
+
 use psr_graph::{EdgeMutation, Graph, MutableGraph, NodeId};
 use rand::Rng;
 
@@ -89,6 +91,93 @@ pub fn edge_stream(base: &Graph, params: StreamParams, rng: &mut impl Rng) -> Ve
         events.push(StreamEvent { time, mutation });
     }
     events
+}
+
+/// One recommendation request event: a target asking for `k` picks at a
+/// (strictly increasing) logical timestamp. The request side of the
+/// daemon workload; [`StreamEvent`] is the mutation side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// Logical timestamp (strictly increasing along the stream).
+    pub time: u64,
+    /// The node asking for recommendations.
+    pub target: NodeId,
+    /// How many recommendations it wants.
+    pub k: usize,
+}
+
+/// Configuration of [`request_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStreamParams {
+    /// Number of request events to emit.
+    pub events: usize,
+    /// Recommendations per request.
+    pub k: usize,
+}
+
+impl Default for RequestStreamParams {
+    fn default() -> Self {
+        RequestStreamParams { events: 256, k: 5 }
+    }
+}
+
+/// Generates a timestamped request stream over `base`: targets are drawn
+/// uniformly from the nodes with at least one neighbour (isolated nodes
+/// have no candidate set and would only exercise the error path), with
+/// the same strictly-increasing timestamp scheme as [`edge_stream`] so
+/// the two streams multiplex on a shared clock. Deterministic given the
+/// RNG.
+///
+/// # Panics
+/// Panics if `k` is zero or no node of `base` has a neighbour.
+pub fn request_stream(
+    base: &Graph,
+    params: RequestStreamParams,
+    rng: &mut impl Rng,
+) -> Vec<RequestEvent> {
+    assert!(params.k > 0, "requests must ask for at least one pick");
+    let eligible: Vec<NodeId> = base.nodes().filter(|&v| base.degree(v) > 0).collect();
+    assert!(!eligible.is_empty(), "request streams need a node with neighbours");
+    let mut events = Vec::with_capacity(params.events);
+    let mut time = 0u64;
+    for _ in 0..params.events {
+        time += rng.gen_range(1..=3u64);
+        let target = eligible[rng.gen_range(0..eligible.len())];
+        events.push(RequestEvent { time, target, k: params.k });
+    }
+    events
+}
+
+/// Maps the streams' logical timestamps onto wall-clock pacing for live
+/// daemon replay. `ticks_per_second` scales the clock; the daemon sleeps
+/// [`ReplayClock::delay`] between consecutive event batches. A clock is
+/// pacing only — results are identical with or without one, which is how
+/// the drain-and-exit `psr serve` path reuses the daemon loop verbatim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayClock {
+    nanos_per_tick: f64,
+}
+
+impl ReplayClock {
+    /// A clock replaying `ticks_per_second` logical ticks per wall
+    /// second.
+    ///
+    /// # Panics
+    /// Panics unless `ticks_per_second` is finite and positive.
+    pub fn new(ticks_per_second: f64) -> Self {
+        assert!(
+            ticks_per_second.is_finite() && ticks_per_second > 0.0,
+            "replay rate must be finite and positive"
+        );
+        ReplayClock { nanos_per_tick: 1e9 / ticks_per_second }
+    }
+
+    /// Wall-clock delay between logical times `from_tick` and `to_tick`
+    /// (zero when time does not advance).
+    pub fn delay(&self, from_tick: u64, to_tick: u64) -> Duration {
+        let ticks = to_tick.saturating_sub(from_tick);
+        Duration::from_nanos((ticks as f64 * self.nanos_per_tick).round() as u64)
+    }
 }
 
 /// A uniform-ish current non-edge: rejection sampling with a bounded
@@ -185,6 +274,45 @@ mod tests {
         // Two free pairs fill the triangle, the complete graph forces a
         // delete, and the freed pair is re-inserted.
         assert_eq!(ops, vec![Insert, Insert, Delete, Insert]);
+    }
+
+    #[test]
+    fn request_streams_hit_connected_targets_deterministically() {
+        // Node 7 is isolated in `base` (8 nodes, edges among 0..=4 plus
+        // none touching 5..=7), so no request may target 5, 6 or 7.
+        let g = base(Direction::Undirected);
+        let params = RequestStreamParams { events: 100, k: 3 };
+        let a = request_stream(&g, params, &mut rng_from_seed(11));
+        assert_eq!(a.len(), 100);
+        let mut last = 0;
+        for event in &a {
+            assert!(event.time > last, "timestamps must strictly increase");
+            last = event.time;
+            assert!(g.degree(event.target) > 0, "isolated node {} targeted", event.target);
+            assert_eq!(event.k, 3);
+        }
+        let b = request_stream(&g, params, &mut rng_from_seed(11));
+        assert_eq!(a, b);
+        let c = request_stream(&g, params, &mut rng_from_seed(12));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pick")]
+    fn zero_k_requests_are_rejected() {
+        let g = base(Direction::Undirected);
+        request_stream(&g, RequestStreamParams { events: 1, k: 0 }, &mut rng_from_seed(1));
+    }
+
+    #[test]
+    fn replay_clock_scales_tick_gaps() {
+        let clock = ReplayClock::new(1000.0); // 1 tick = 1ms
+        assert_eq!(clock.delay(0, 5), Duration::from_millis(5));
+        assert_eq!(clock.delay(7, 7), Duration::ZERO);
+        // Time never runs backwards, even if callers pass ticks reversed.
+        assert_eq!(clock.delay(9, 2), Duration::ZERO);
+        let fast = ReplayClock::new(1e9);
+        assert_eq!(fast.delay(0, 3), Duration::from_nanos(3));
     }
 
     #[test]

@@ -280,6 +280,21 @@ impl DeltaGraph {
         }
     }
 
+    /// Applies a batch of mutations in order, stopping at the first
+    /// failure and reporting its index. Mutations before the failing one
+    /// stay applied — callers wanting all-or-nothing semantics stage the
+    /// batch on a clone and swap on success (the epoch handoff in
+    /// `psr-core::serving` does exactly this).
+    pub fn apply_all(
+        &mut self,
+        mutations: &[EdgeMutation],
+    ) -> std::result::Result<(), (usize, GraphError)> {
+        for (index, mutation) in mutations.iter().enumerate() {
+            self.apply(mutation).map_err(|e| (index, e))?;
+        }
+        Ok(())
+    }
+
     /// Folds the overlay into a fresh CSR snapshot of the current edge
     /// set. The overlay (and its base) are untouched; re-basing is
     /// `DeltaGraph::new(delta.compact())`.
@@ -347,6 +362,29 @@ mod tests {
         }
         assert_eq!(d.compact(), *b);
         assert!(Arc::ptr_eq(d.base(), &b));
+    }
+
+    #[test]
+    fn apply_all_stops_at_the_first_failure_with_its_index() {
+        let mut d = DeltaGraph::new(base());
+        let batch = [
+            EdgeMutation::insert(0, 3),
+            EdgeMutation::delete(1, 2),
+            EdgeMutation::delete(1, 2), // already gone: fails at index 2
+            EdgeMutation::insert(0, 4),
+        ];
+        let (index, err) = d.apply_all(&batch).unwrap_err();
+        assert_eq!(index, 2);
+        assert!(matches!(err, GraphError::EdgeNotFound { from: 1, to: 2 }));
+        // Prefix mutations stay applied; the suffix was never reached.
+        assert!(d.has_edge(0, 3));
+        assert!(!d.has_edge(1, 2));
+        assert!(!d.has_edge(0, 4));
+
+        let mut clean = DeltaGraph::new(base());
+        clean.apply_all(&[EdgeMutation::insert(0, 3), EdgeMutation::delete(2, 3)]).unwrap();
+        assert!(clean.has_edge(0, 3));
+        assert!(!clean.has_edge(2, 3));
     }
 
     #[test]

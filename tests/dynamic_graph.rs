@@ -166,7 +166,7 @@ proptest! {
                     }
                 };
 
-                let mut mutated = RecommendationService::new(
+                let mutated = RecommendationService::new(
                     Arc::clone(&base), make_utility(), config,
                 );
                 // Warm every request target's cache pre-mutation, so the

@@ -174,8 +174,8 @@ fn thread_count_determinism_survives_epochs() {
     // The bit-identity guarantee must hold *per epoch*, with warm caches
     // and selective invalidation in play: serve → mutate → serve must
     // agree between a 1-worker and an 8-worker service at every step.
-    let mut one = wiki_service(Some(1));
-    let mut eight = wiki_service(Some(8));
+    let one = wiki_service(Some(1));
+    let eight = wiki_service(Some(8));
     let requests = batch_for(&one, 2);
     let mutations: Vec<EdgeMutation> = {
         let base = one.shared_graph();
@@ -206,7 +206,7 @@ fn thread_count_determinism_survives_epochs() {
 #[test]
 fn budgets_stay_continuous_across_epochs() {
     let (graph, _) = wiki_vote_like(PresetConfig::scaled(0.05, 2011)).unwrap();
-    let mut service = RecommendationService::new(
+    let service = RecommendationService::new(
         graph,
         Box::new(CommonNeighbors),
         ServiceConfig {
@@ -244,7 +244,7 @@ fn budgets_stay_continuous_across_epochs() {
 
 #[test]
 fn rejected_mutation_batches_roll_back_at_scale() {
-    let mut service = wiki_service(Some(2));
+    let service = wiki_service(Some(2));
     let base = service.shared_graph();
     let (u, v) = base.edges().next().expect("preset has edges");
     let fresh = base.nodes().find(|&w| w != u && !base.has_edge(u, w)).unwrap();
@@ -265,4 +265,78 @@ fn rejected_mutation_batches_roll_back_at_scale() {
     // Deleting a missing edge reports the typed graph error too.
     let err = service.apply_mutations(&[EdgeMutation::delete(u, fresh)]).unwrap_err();
     assert!(err.to_string().contains("not found"), "{err}");
+}
+
+#[test]
+fn pinned_batches_drain_bit_identically_while_epochs_advance() {
+    // The RCU acceptance check: batches pinned to epoch 0 keep
+    // completing — bit-identically — while a concurrent writer stages
+    // epoch after epoch through `apply_mutations`, and the pin still
+    // reads the old graph after every swap. Reads never stall and never
+    // see a half-applied epoch.
+    let (graph, _) = wiki_vote_like(PresetConfig::scaled(0.05, 2011)).unwrap();
+    let service = RecommendationService::new(
+        graph,
+        Box::new(CommonNeighbors),
+        ServiceConfig {
+            budget_per_target: f64::INFINITY, // isolate reads from admission
+            threads: Some(2),
+            ..Default::default()
+        },
+    );
+    let requests: Vec<BatchRequest> = batch_for(&service, 2).into_iter().take(48).collect();
+    let schedule: Vec<Vec<EdgeMutation>> = {
+        let base = service.shared_graph();
+        let mut rng = rng_from_seed(77);
+        edge_stream(&base, StreamParams { events: 24, insert_fraction: 0.6 }, &mut rng)
+            .chunks(4)
+            .map(|chunk| chunk.iter().map(|e| e.mutation).collect())
+            .collect()
+    };
+    let net_edges: i64 =
+        schedule.iter().flatten().map(|m| if m.op == MutationOp::Insert { 1 } else { -1 }).sum();
+    let base_edges = service.view().num_edges();
+
+    let pin = service.pin();
+    assert_eq!(pin.version(), 0);
+    let baseline = service.serve_batch_pinned(&pin, &requests, 7);
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for batch in &schedule {
+                service.apply_mutations(batch).unwrap();
+            }
+        });
+        // Drain pinned batches while the writer stages epochs; at least
+        // one drain runs, and every one is bit-identical to the
+        // pre-mutation baseline.
+        let mut drains = 0usize;
+        loop {
+            assert_eq!(
+                service.serve_batch_pinned(&pin, &requests, 7),
+                baseline,
+                "drain #{drains} diverged while epochs advanced"
+            );
+            drains += 1;
+            if writer.is_finished() {
+                break;
+            }
+        }
+        assert!(drains >= 1);
+        writer.join().unwrap();
+    });
+
+    assert_eq!(service.epoch(), schedule.len() as u64, "the writer advanced every epoch");
+    assert_eq!(pin.version(), 0, "the pin stays on the epoch it captured");
+    assert_eq!(
+        service.serve_batch_pinned(&pin, &requests, 7),
+        baseline,
+        "a pin outlives the swap: old-epoch reads stay bit-identical"
+    );
+    // The pin still sees the original edge set; the current epoch sees
+    // the mutated one.
+    assert_eq!(pin.num_edges(), base_edges);
+    let current = service.pin();
+    assert_eq!(current.version(), schedule.len() as u64);
+    assert_eq!(current.num_edges() as i64, base_edges as i64 + net_edges);
 }
