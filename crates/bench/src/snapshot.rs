@@ -14,6 +14,7 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use serde::Serialize;
@@ -25,6 +26,7 @@ struct BenchSnapshot {
     git_sha: String,
     date: String,
     cases: Vec<BenchCase>,
+    gauges: Vec<Gauge>,
 }
 
 /// One timed case in the snapshot.
@@ -34,6 +36,33 @@ struct BenchCase {
     median_ns: f64,
     min_ns: f64,
     max_ns: f64,
+}
+
+/// One point-in-time measurement that is not a duration — bytes resident,
+/// compression ratios, peak RSS. Recorded by bench code with
+/// [`record_gauge`] and embedded next to the timed cases.
+#[derive(Debug, Clone, Serialize)]
+pub struct Gauge {
+    /// Gauge identifier, `group/name`-style like case ids.
+    pub id: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label (`"bytes"`, `"ratio"`, …).
+    pub unit: String,
+}
+
+/// Process-global gauge registry, drained by [`write`].
+static GAUGES: Mutex<Vec<Gauge>> = Mutex::new(Vec::new());
+
+/// Records a gauge for the next [`write`] call. Unlike timed cases,
+/// gauges are recorded in test mode too, but they are only persisted when
+/// a real run produced timed cases.
+pub fn record_gauge(id: &str, value: f64, unit: &str) {
+    GAUGES.lock().expect("gauge registry poisoned").push(Gauge {
+        id: id.to_owned(),
+        value,
+        unit: unit.to_owned(),
+    });
 }
 
 /// The repository root: two levels above this crate's manifest.
@@ -82,6 +111,7 @@ fn today_utc() -> String {
 /// was recorded (test mode) so smoke runs leave baselines untouched.
 pub fn write(bench: &str) -> Option<PathBuf> {
     let cases = criterion::take_results();
+    let gauges = std::mem::take(&mut *GAUGES.lock().expect("gauge registry poisoned"));
     if cases.is_empty() {
         return None;
     }
@@ -89,6 +119,7 @@ pub fn write(bench: &str) -> Option<PathBuf> {
         bench: bench.to_owned(),
         git_sha: git_sha(),
         date: today_utc(),
+        gauges,
         cases: cases
             .iter()
             .map(|c| BenchCase {

@@ -122,6 +122,61 @@ fn daemon_snapshot_covers_every_case_and_stays_near_the_one_shot_path() {
     median(&snapshot, "daemon_ledger/journal_fsync");
 }
 
+/// Newer snapshots carry byte gauges next to the timed cases; the base
+/// [`Snapshot`] loader ignores them, this one requires them.
+#[derive(Debug, Deserialize)]
+struct GaugedSnapshot {
+    bench: String,
+    cases: Vec<Case>,
+    gauges: Vec<Gauge>,
+}
+
+#[derive(Debug, Deserialize)]
+struct Gauge {
+    id: String,
+    value: f64,
+    unit: String,
+}
+
+fn gauge(snapshot: &GaugedSnapshot, id: &str) -> f64 {
+    let gauge = snapshot
+        .gauges
+        .iter()
+        .find(|g| g.id == id)
+        .unwrap_or_else(|| panic!("snapshot {} is missing gauge {id}", snapshot.bench));
+    assert!(gauge.value.is_finite() && gauge.value > 0.0, "{id}: bad value {}", gauge.value);
+    assert!(!gauge.unit.is_empty(), "{id}: empty unit");
+    gauge.value
+}
+
+#[test]
+fn graph_backend_snapshot_covers_every_case_and_keeps_the_wins() {
+    // The timing schema is validated by the shared loader; the gauges by
+    // the gauged one (same file parsed twice, both shapes must hold).
+    let timed = load("graph_backend");
+    let csr = median(&timed, "graph_backend_scan/csr");
+    let warm = median(&timed, "graph_backend_scan/compressed_warm");
+    let cold = median(&timed, "graph_backend_scan/compressed_workspace");
+    median(&timed, "graph_backend_scan/sharded");
+    median(&timed, "graph_backend_open/validate_open");
+    // Mirrors the in-bench gates: steady-state compressed reads must stay
+    // cheap, and the committed artifact must prove it.
+    assert!(warm <= 3.0 * csr, "committed warm compressed scan {warm} ns vs csr {csr} ns");
+    assert!(cold <= 25.0 * csr, "committed workspace decode {cold} ns vs csr {csr} ns");
+
+    let path = psr_bench::snapshot::repo_root().join("BENCH_graph_backend.json");
+    let raw = std::fs::read_to_string(&path).expect("snapshot just loaded");
+    let gauged: GaugedSnapshot = serde_json::from_str(&raw).expect("snapshot just parsed");
+    assert_eq!(gauged.cases.len(), timed.cases.len(), "both parses must see every case");
+    let snapshot_bytes = gauge(&gauged, "graph_backend/snapshot_bytes");
+    let csr_bytes = gauge(&gauged, "graph_backend/csr_resident_bytes");
+    gauge(&gauged, "graph_backend/peak_rss_bytes");
+    assert!(
+        snapshot_bytes < csr_bytes,
+        "the compressed snapshot ({snapshot_bytes} B) must beat the resident CSR ({csr_bytes} B)"
+    );
+}
+
 #[test]
 fn kernels_snapshot_covers_every_case_and_keeps_the_wins() {
     let snapshot = load("kernels");

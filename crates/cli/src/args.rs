@@ -11,6 +11,8 @@ usage:
   psr serve --requests <path> [serve options]
   psr daemon [daemon options]     always-on serving over generated streams
   psr attack [attack options]     run the edge-inference adversaries
+  psr build-snapshot --out <path> [build-snapshot options]
+                                  build a compressed PSRZ graph snapshot
 
 recommend options:
   --input <path>    SNAP edge list to serve from (default: generated preset)
@@ -28,6 +30,12 @@ serve options (batch serving over a worker pool):
                     batch i is applied after request chunk i, opening a new
                     graph epoch for the remaining chunks
   --input, --directed, --preset, --scale, --utility, --gamma   as for recommend
+                    (--preset also accepts livejournal here)
+  --backend <b>     csr|compressed graph backing (default csr; compressed
+                    round-trips the graph through the PSRZ codec in RAM)
+  --snapshot <path> serve straight from a PSRZ snapshot built with
+                    build-snapshot (mmap-backed; implies
+                    --backend compressed, excludes --input/--preset)
   --epsilon <f64>   privacy cost of one request, split over its k slots
                     (default 1.0)
   --budget <f64>    total ε each target may spend before the service
@@ -39,8 +47,9 @@ serve options (batch serving over a worker pool):
   --json <path>     write the JSON outcome report here instead of stdout
 
 daemon options (always-on serving over generated request/mutation streams):
-  --input, --directed, --preset, --scale, --utility, --gamma,
-  --epsilon, --budget, --engine, --threads, --seed, --json   as for serve
+  --input, --directed, --preset, --scale, --utility, --gamma, --backend,
+  --snapshot, --epsilon, --budget, --engine, --threads, --seed, --json
+                    as for serve
   --request-events <n>   requests to generate (default 256)
   --mutation-events <n>  edge mutations to interleave (default 32)
   --insert-fraction <f>  insert share of mutations in [0,1] (default 0.7)
@@ -56,7 +65,13 @@ daemon options (always-on serving over generated request/mutation streams):
 
 attack options (empirical edge- and node-inference adversaries):
   --input, --directed, --scale, --seed  as for recommend
-  --preset <name>   karate|wiki|twitter when no --input (default karate)
+  --preset <name>   karate|wiki|twitter|livejournal when no --input
+                    (default karate)
+  --backend <b>     csr|compressed — compressed attacks the graph after a
+                    PSRZ encode->open->materialise round trip, proving the
+                    attack surface is backing-oblivious (default csr)
+  --snapshot <path> attack the graph stored in a PSRZ snapshot (implies
+                    --backend compressed, excludes --input/--preset)
   --utility <name>  common-neighbors|weighted-paths (default common-neighbors)
   --gamma <f64>     weighted-paths damping (default 0.005)
   --engine <name>   peel|gumbel top-k sampler for exponential observations
@@ -85,6 +100,21 @@ attack options (empirical edge- and node-inference adversaries):
   --prefix-rounds <n>  rounds before the mutation epoch (default 1)
   --threads <n>     harness worker threads (default: all cores)
   --json <path>     write the JSON attack report here instead of stdout
+
+build-snapshot options (out-of-core PSRZ snapshot builder):
+  --out <path>      where to write the snapshot (required)
+  --input <path>    SNAP edge list to encode (default: generated preset)
+  --directed        treat the input file as directed
+  --preset <name>   wiki|twitter|livejournal when no --input
+                    (default livejournal; livejournal streams R-MAT arcs
+                    through the out-of-core builder and never materialises
+                    the graph in RAM)
+  --scale <0..1]    dataset scale (default 1.0)
+  --seed <u64>      generator seed (default 42)
+  --shards <n>      degree-balanced shard count in the manifest (default 8)
+  --arc-budget <n>  arcs buffered in RAM before spilling a sorted run
+                    (16 bytes each; default 4194304 = 64 MiB)
+  --json <path>     write the build stats as JSON here instead of stdout
 
 options:
   --scale <0..1]   dataset scale relative to the paper (default 1.0)
@@ -141,6 +171,122 @@ pub enum Command {
         /// Stream-serving options.
         opts: DaemonOptions,
     },
+    /// `psr build-snapshot …`
+    BuildSnapshot {
+        /// Snapshot-builder options.
+        opts: BuildSnapshotOptions,
+    },
+}
+
+/// Options for the `build-snapshot` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildSnapshotOptions {
+    /// Output snapshot path.
+    pub out: String,
+    /// SNAP edge-list path (None = preset).
+    pub input: Option<String>,
+    /// Whether the input file is directed.
+    pub directed: bool,
+    /// Preset name when no input file.
+    pub preset: String,
+    /// Dataset scale for presets.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Degree-balanced shard count.
+    pub shards: usize,
+    /// Arcs buffered in RAM before spilling a sorted run.
+    pub arc_budget: usize,
+    /// Optional JSON stats path (stdout when absent).
+    pub json: Option<String>,
+}
+
+impl Default for BuildSnapshotOptions {
+    fn default() -> Self {
+        BuildSnapshotOptions {
+            out: String::new(),
+            input: None,
+            directed: false,
+            preset: "livejournal".to_owned(),
+            scale: 1.0,
+            seed: 42,
+            shards: 8,
+            arc_budget: 4 * 1024 * 1024,
+            json: None,
+        }
+    }
+}
+
+fn parse_build_snapshot(rest: &[String]) -> Result<BuildSnapshotOptions, String> {
+    let mut opts = BuildSnapshotOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--out" => opts.out = value("--out")?.clone(),
+            "--input" => opts.input = Some(value("--input")?.clone()),
+            "--directed" => opts.directed = true,
+            "--preset" => {
+                opts.preset = value("--preset")?.clone();
+                if !["wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
+                    return Err(format!("unknown preset {:?}", opts.preset));
+                }
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--shards" => {
+                opts.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--arc-budget" => {
+                opts.arc_budget =
+                    value("--arc-budget")?.parse().map_err(|e| format!("--arc-budget: {e}"))?;
+                if opts.arc_budget == 0 {
+                    return Err("--arc-budget must be at least 1".into());
+                }
+            }
+            "--json" => opts.json = Some(value("--json")?.clone()),
+            other => return Err(format!("unknown build-snapshot option {other:?}")),
+        }
+    }
+    if opts.out.is_empty() {
+        return Err("build-snapshot: --out <path> is required".into());
+    }
+    Ok(opts)
+}
+
+/// Validates a `--backend` value and resolves the `--snapshot` implication
+/// shared by `serve`, `daemon` and `attack`: a snapshot path forces the
+/// compressed backend and excludes `--input` (the snapshot *is* the
+/// input).
+fn resolve_backend(
+    backend: &mut String,
+    backend_explicit: bool,
+    snapshot: Option<&str>,
+    input: Option<&str>,
+) -> Result<(), String> {
+    if !["csr", "compressed"].contains(&backend.as_str()) {
+        return Err(format!("unknown backend {backend:?} (expected csr|compressed)"));
+    }
+    if snapshot.is_some() {
+        if input.is_some() {
+            return Err("--snapshot and --input are mutually exclusive".into());
+        }
+        if backend_explicit && backend == "csr" {
+            return Err("--snapshot requires the compressed backend (drop --backend csr)".into());
+        }
+        *backend = "compressed".to_owned();
+    }
+    Ok(())
 }
 
 /// Options for the `daemon` subcommand.
@@ -154,6 +300,10 @@ pub struct DaemonOptions {
     pub preset: String,
     /// Dataset scale for presets.
     pub scale: f64,
+    /// Graph backing: csr|compressed.
+    pub backend: String,
+    /// PSRZ snapshot to serve from (implies the compressed backend).
+    pub snapshot: Option<String>,
     /// Utility function name.
     pub utility: String,
     /// Weighted-paths damping.
@@ -197,6 +347,8 @@ impl Default for DaemonOptions {
             directed: false,
             preset: "wiki".to_owned(),
             scale: 1.0,
+            backend: "csr".to_owned(),
+            snapshot: None,
             utility: "common-neighbors".to_owned(),
             gamma: 0.005,
             epsilon: 1.0,
@@ -220,6 +372,7 @@ impl Default for DaemonOptions {
 
 fn parse_daemon(rest: &[String]) -> Result<DaemonOptions, String> {
     let mut opts = DaemonOptions::default();
+    let mut backend_explicit = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -230,10 +383,15 @@ fn parse_daemon(rest: &[String]) -> Result<DaemonOptions, String> {
             "--directed" => opts.directed = true,
             "--preset" => {
                 opts.preset = value("--preset")?.clone();
-                if !["wiki", "twitter"].contains(&opts.preset.as_str()) {
+                if !["wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
                     return Err(format!("unknown preset {:?}", opts.preset));
                 }
             }
+            "--backend" => {
+                opts.backend = value("--backend")?.clone();
+                backend_explicit = true;
+            }
+            "--snapshot" => opts.snapshot = Some(value("--snapshot")?.clone()),
             "--scale" => {
                 opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
@@ -335,6 +493,12 @@ fn parse_daemon(rest: &[String]) -> Result<DaemonOptions, String> {
             other => return Err(format!("unknown daemon option {other:?}")),
         }
     }
+    resolve_backend(
+        &mut opts.backend,
+        backend_explicit,
+        opts.snapshot.as_deref(),
+        opts.input.as_deref(),
+    )?;
     Ok(opts)
 }
 
@@ -349,6 +513,10 @@ pub struct AttackOptions {
     pub preset: String,
     /// Dataset scale for generated presets.
     pub scale: f64,
+    /// Graph backing: csr|compressed.
+    pub backend: String,
+    /// PSRZ snapshot to attack (implies the compressed backend).
+    pub snapshot: Option<String>,
     /// Utility function name.
     pub utility: String,
     /// Weighted-paths damping.
@@ -396,6 +564,8 @@ impl Default for AttackOptions {
             directed: false,
             preset: "karate".to_owned(),
             scale: 1.0,
+            backend: "csr".to_owned(),
+            snapshot: None,
             utility: "common-neighbors".to_owned(),
             gamma: 0.005,
             engine: "gumbel".to_owned(),
@@ -421,6 +591,7 @@ impl Default for AttackOptions {
 
 fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
     let mut opts = AttackOptions::default();
+    let mut backend_explicit = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -431,10 +602,15 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
             "--directed" => opts.directed = true,
             "--preset" => {
                 opts.preset = value("--preset")?.clone();
-                if !["karate", "wiki", "twitter"].contains(&opts.preset.as_str()) {
+                if !["karate", "wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
                     return Err(format!("unknown attack preset {:?}", opts.preset));
                 }
             }
+            "--backend" => {
+                opts.backend = value("--backend")?.clone();
+                backend_explicit = true;
+            }
+            "--snapshot" => opts.snapshot = Some(value("--snapshot")?.clone()),
             "--scale" => {
                 opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
@@ -551,6 +727,12 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
             other => return Err(format!("unknown attack option {other:?}")),
         }
     }
+    resolve_backend(
+        &mut opts.backend,
+        backend_explicit,
+        opts.snapshot.as_deref(),
+        opts.input.as_deref(),
+    )?;
     if opts.k != 1 && ["laplace", "smoothing"].contains(&opts.mechanism.as_str()) {
         return Err("--k must be 1 for the single-draw laplace/smoothing mechanisms".into());
     }
@@ -606,6 +788,10 @@ pub struct ServeOptions {
     pub preset: String,
     /// Dataset scale for presets.
     pub scale: f64,
+    /// Graph backing: csr|compressed.
+    pub backend: String,
+    /// PSRZ snapshot to serve from (implies the compressed backend).
+    pub snapshot: Option<String>,
     /// Utility function name.
     pub utility: String,
     /// Weighted-paths damping.
@@ -633,6 +819,8 @@ impl Default for ServeOptions {
             directed: false,
             preset: "wiki".to_owned(),
             scale: 1.0,
+            backend: "csr".to_owned(),
+            snapshot: None,
             utility: "common-neighbors".to_owned(),
             gamma: 0.005,
             epsilon: 1.0,
@@ -647,6 +835,7 @@ impl Default for ServeOptions {
 
 fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
     let mut opts = ServeOptions::default();
+    let mut backend_explicit = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -659,10 +848,15 @@ fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
             "--directed" => opts.directed = true,
             "--preset" => {
                 opts.preset = value("--preset")?.clone();
-                if !["wiki", "twitter"].contains(&opts.preset.as_str()) {
+                if !["wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
                     return Err(format!("unknown preset {:?}", opts.preset));
                 }
             }
+            "--backend" => {
+                opts.backend = value("--backend")?.clone();
+                backend_explicit = true;
+            }
+            "--snapshot" => opts.snapshot = Some(value("--snapshot")?.clone()),
             "--scale" => {
                 opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
@@ -709,6 +903,12 @@ fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
+    resolve_backend(
+        &mut opts.backend,
+        backend_explicit,
+        opts.snapshot.as_deref(),
+        opts.input.as_deref(),
+    )?;
     if opts.requests.is_empty() {
         return Err("serve: --requests <path> is required".into());
     }
@@ -866,6 +1066,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "serve" => Ok(Command::Serve { opts: parse_serve(it.as_slice())? }),
         "attack" => Ok(Command::Attack { opts: parse_attack(it.as_slice())? }),
         "daemon" => Ok(Command::Daemon { opts: parse_daemon(it.as_slice())? }),
+        "build-snapshot" => {
+            Ok(Command::BuildSnapshot { opts: parse_build_snapshot(it.as_slice())? })
+        }
         "dataset" => {
             let name = it.next().ok_or("dataset: missing name")?.clone();
             if !["wiki", "twitter"].contains(&name.as_str()) {
@@ -1210,6 +1413,97 @@ mod tests {
             "attack --adjacency node --epoch rewire --rounds 2 --prefix-rounds 2"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn parses_build_snapshot() {
+        let cmd = parse(&argv(
+            "build-snapshot --out lj.psrz --preset livejournal --scale 0.01 --seed 7 \
+             --shards 16 --arc-budget 1000000 --json stats.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::BuildSnapshot { opts } => {
+                assert_eq!(opts.out, "lj.psrz");
+                assert_eq!(opts.preset, "livejournal");
+                assert_eq!(opts.scale, 0.01);
+                assert_eq!(opts.seed, 7);
+                assert_eq!(opts.shards, 16);
+                assert_eq!(opts.arc_budget, 1_000_000);
+                assert_eq!(opts.json.as_deref(), Some("stats.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_snapshot_defaults_and_validation() {
+        let cmd = parse(&argv("build-snapshot --out g.psrz")).unwrap();
+        match cmd {
+            Command::BuildSnapshot { opts } => {
+                assert_eq!(opts.preset, "livejournal");
+                assert_eq!(opts.shards, 8);
+                assert_eq!(opts.arc_budget, 4 * 1024 * 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("build-snapshot")).is_err(), "--out is required");
+        assert!(parse(&argv("build-snapshot --out g --preset bogus")).is_err());
+        assert!(parse(&argv("build-snapshot --out g --shards 0")).is_err());
+        assert!(parse(&argv("build-snapshot --out g --arc-budget 0")).is_err());
+        assert!(parse(&argv("build-snapshot --out g --scale 2")).is_err());
+    }
+
+    #[test]
+    fn serve_accepts_backend_and_snapshot() {
+        let cmd = parse(&argv("serve --requests r.json --backend compressed")).unwrap();
+        match cmd {
+            Command::Serve { opts } => assert_eq!(opts.backend, "compressed"),
+            other => panic!("{other:?}"),
+        }
+        // --snapshot implies the compressed backend and excludes --input.
+        let cmd = parse(&argv("serve --requests r.json --snapshot g.psrz")).unwrap();
+        match cmd {
+            Command::Serve { opts } => {
+                assert_eq!(opts.backend, "compressed");
+                assert_eq!(opts.snapshot.as_deref(), Some("g.psrz"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("serve --requests r.json --backend bogus")).is_err());
+        assert!(parse(&argv("serve --requests r.json --snapshot g --backend csr")).is_err());
+        assert!(parse(&argv("serve --requests r.json --snapshot g --input e.txt")).is_err());
+        // The snapshot implication is argument-order independent.
+        assert!(parse(&argv("serve --requests r.json --backend csr --snapshot g")).is_err());
+    }
+
+    #[test]
+    fn daemon_and_attack_accept_backends() {
+        match parse(&argv("daemon --backend compressed --preset livejournal --scale 0.01")).unwrap()
+        {
+            Command::Daemon { opts } => {
+                assert_eq!(opts.backend, "compressed");
+                assert_eq!(opts.preset, "livejournal");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("attack --snapshot g.psrz")).unwrap() {
+            Command::Attack { opts } => {
+                assert_eq!(opts.backend, "compressed");
+                assert_eq!(opts.snapshot.as_deref(), Some("g.psrz"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("daemon --backend bogus")).is_err());
+        assert!(parse(&argv("attack --backend csr --snapshot g")).is_err());
+        // Defaults stay csr with no snapshot.
+        match parse(&argv("daemon")).unwrap() {
+            Command::Daemon { opts } => {
+                assert_eq!(opts.backend, "csr");
+                assert_eq!(opts.snapshot, None);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -93,6 +93,8 @@ impl AdversaryRecord {
 #[derive(Debug, Serialize)]
 struct AttackReport {
     dataset: String,
+    /// Graph backing the attacked graph came through: csr|compressed.
+    backend: String,
     utility: String,
     /// Which top-k sampler served the transcripts (peel|gumbel; the two
     /// are distributionally identical, so this is provenance, not a
@@ -128,18 +130,41 @@ struct AttackReport {
 }
 
 /// Loads the attacked graph: `karate` comes from the toy module, the
-/// rest through the shared serving loader.
+/// rest through the shared serving loader. With `--backend compressed`
+/// (or `--snapshot`) the graph is round-tripped through the PSRZ
+/// codec and materialised back — the attack harness mutates per-trial
+/// world copies, so it needs a concrete [`Graph`], and the round trip
+/// proves the attack surface is identical across backings.
 fn load_graph(opts: &AttackOptions) -> (Graph, Option<IdMap>) {
-    if opts.input.is_none() && opts.preset == "karate" {
-        return (psr_datasets::toy::karate_club(), None);
+    if opts.snapshot.is_none() && opts.input.is_none() && opts.preset == "karate" {
+        let karate = psr_datasets::toy::karate_club();
+        if opts.backend == "compressed" {
+            return (round_trip_compressed(&karate), None);
+        }
+        return (karate, None);
     }
-    super::load_serving_graph(
+    let (backend, ids) = super::load_serving_backend(
         opts.input.as_deref(),
         opts.directed,
         &opts.preset,
         opts.scale,
         opts.seed,
-    )
+        &opts.backend,
+        opts.snapshot.as_deref(),
+    );
+    let graph = match backend {
+        psr_graph::GraphBackend::Csr(arc) => Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()),
+        other => (*other.to_graph_arc()).clone(),
+    };
+    (graph, ids)
+}
+
+/// Encode → open → materialise through the compressed codec.
+fn round_trip_compressed(graph: &Graph) -> Graph {
+    let bytes = psr_graph::CompressedCsr::encode(graph, 1);
+    psr_graph::CompressedCsr::open_bytes(bytes)
+        .expect("a freshly encoded snapshot always validates")
+        .to_graph()
 }
 
 /// Scan budget for the default secret-edge / leaking-rewire search
@@ -295,7 +320,12 @@ fn run_edge(opts: &AttackOptions) {
 
     let label = |v: NodeId| super::original_label(ids.as_ref(), v);
     let report = AttackReport {
-        dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
+        dataset: opts
+            .snapshot
+            .clone()
+            .or_else(|| opts.input.clone())
+            .unwrap_or_else(|| opts.preset.clone()),
+        backend: opts.backend.clone(),
         utility: utility_name,
         engine: parse_engine(opts).name().to_owned(),
         mechanism: opts.mechanism.clone(),
@@ -394,7 +424,12 @@ fn run_node(opts: &AttackOptions) {
     let label = |v: NodeId| super::original_label(ids.as_ref(), v);
     let rewire_size = scenario.rewire_size();
     let report = AttackReport {
-        dataset: opts.input.clone().unwrap_or_else(|| opts.preset.clone()),
+        dataset: opts
+            .snapshot
+            .clone()
+            .or_else(|| opts.input.clone())
+            .unwrap_or_else(|| opts.preset.clone()),
+        backend: opts.backend.clone(),
         utility: utility_name,
         engine: parse_engine(opts).name().to_owned(),
         mechanism: opts.mechanism.clone(),

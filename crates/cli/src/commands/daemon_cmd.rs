@@ -40,6 +40,8 @@ struct EpochRecord {
 struct DaemonReport {
     utility: String,
     engine: String,
+    /// Graph backing the stream was served from: csr|compressed.
+    backend: String,
     epsilon_per_request: f64,
     budget_per_target: f64,
     sensitivity: f64,
@@ -51,13 +53,19 @@ struct DaemonReport {
 }
 
 pub fn run(opts: &DaemonOptions) {
-    let (graph, _ids) = super::load_serving_graph(
+    let (backend, _ids) = super::load_serving_backend(
         opts.input.as_deref(),
         opts.directed,
         &opts.preset,
         opts.scale,
         opts.seed,
+        &opts.backend,
+        opts.snapshot.as_deref(),
     );
+    // The stream generators need concrete adjacency to draw valid events;
+    // materialising the backend here does not change what the *service*
+    // reads through (its epochs stay pinned to the compressed backing).
+    let graph = backend.to_graph_arc();
     let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
         "common-neighbors" => Box::new(CommonNeighbors),
         "weighted-paths" => Box::new(WeightedPaths::paper(opts.gamma)),
@@ -98,10 +106,19 @@ pub fn run(opts: &DaemonOptions) {
         Some(path) => {
             let ledger = JournalLedger::open(path, opts.budget)
                 .unwrap_or_else(|e| panic!("opening budget ledger {path}: {e}"));
-            RecommendationService::with_ledger(graph, utility, config, Box::new(ledger))
+            RecommendationService::with_backend_and_ledger(
+                backend,
+                utility,
+                config,
+                Box::new(ledger),
+            )
         }
-        None => RecommendationService::new(graph, utility, config),
+        None => RecommendationService::with_backend(backend, utility, config),
     };
+    // Captured before the run: mid-stream compaction re-bases the service
+    // onto an in-RAM CSR, and the report should name the backing the
+    // daemon *started* serving from.
+    let backend_kind = service.backend_kind().to_owned();
 
     let run = run_daemon(
         &service,
@@ -117,6 +134,7 @@ pub fn run(opts: &DaemonOptions) {
     let report = DaemonReport {
         utility: utility_name,
         engine: engine.name().to_owned(),
+        backend: backend_kind,
         epsilon_per_request: opts.epsilon,
         budget_per_target: opts.budget,
         sensitivity: service.sensitivity(),

@@ -2,6 +2,7 @@
 
 mod attack_cmd;
 mod bounds_cmd;
+mod build_snapshot_cmd;
 mod claims_cmd;
 mod daemon_cmd;
 mod dataset_cmd;
@@ -9,9 +10,11 @@ mod figure_cmd;
 mod recommend_cmd;
 mod serve_cmd;
 
-use psr_datasets::{twitter_like, wiki_vote_like, PresetConfig};
+use std::sync::Arc;
+
+use psr_datasets::{livejournal_like, twitter_like, wiki_vote_like, PresetConfig};
 use psr_graph::io::IdMap;
-use psr_graph::{Direction, Graph};
+use psr_graph::{CompressedCsr, Direction, Graph, GraphBackend};
 
 use crate::args::Command;
 
@@ -26,6 +29,7 @@ pub fn run(cmd: Command) {
         Command::Serve { opts } => serve_cmd::run(&opts),
         Command::Attack { opts } => attack_cmd::run(&opts),
         Command::Daemon { opts } => daemon_cmd::run(&opts),
+        Command::BuildSnapshot { opts } => build_snapshot_cmd::run(&opts),
     }
 }
 
@@ -50,9 +54,54 @@ pub(crate) fn load_serving_graph(
     let graph = match preset {
         "wiki" => wiki_vote_like(preset_config).expect("generation").0,
         "twitter" => twitter_like(preset_config).expect("generation").0,
+        "livejournal" => livejournal_like(preset_config).expect("generation").0,
         other => unreachable!("arg parser admits only known presets, got {other}"),
     };
     (graph, None)
+}
+
+/// Loads the graph *backing* a serving command works through:
+///
+/// * `--snapshot path` — mmap the PSRZ snapshot directly (zero copies of
+///   the adjacency data; decode-on-demand),
+/// * `--backend compressed` — load/generate the graph as usual, then
+///   round-trip it through the PSRZ codec in RAM (exercises the exact
+///   compressed read path without touching disk),
+/// * `--backend csr` — the plain in-RAM CSR, as before.
+///
+/// Shared by `serve`, `daemon` and `attack`, so every serving surface is
+/// backing-oblivious in the same way.
+pub(crate) fn load_serving_backend(
+    input: Option<&str>,
+    directed: bool,
+    preset: &str,
+    scale: f64,
+    seed: u64,
+    backend: &str,
+    snapshot: Option<&str>,
+) -> (GraphBackend, Option<IdMap>) {
+    if let Some(path) = snapshot {
+        let compressed = match CompressedCsr::open_path(std::path::Path::new(path)) {
+            Ok(compressed) => compressed,
+            Err(e) => {
+                eprintln!("error: opening snapshot {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        return (GraphBackend::Compressed(Arc::new(compressed)), None);
+    }
+    let (graph, ids) = load_serving_graph(input, directed, preset, scale, seed);
+    let backend = match backend {
+        "csr" => GraphBackend::from(graph),
+        "compressed" => {
+            let bytes = CompressedCsr::encode(&graph, 1);
+            let compressed = CompressedCsr::open_bytes(bytes)
+                .expect("a freshly encoded snapshot always validates");
+            GraphBackend::Compressed(Arc::new(compressed))
+        }
+        other => unreachable!("arg parser admits only known backends, got {other}"),
+    };
+    (backend, ids)
 }
 
 /// Renders a compact node id under an optional [`IdMap`]: the original

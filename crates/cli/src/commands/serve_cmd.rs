@@ -55,6 +55,8 @@ struct EpochRecord {
 struct ServeReport {
     utility: String,
     engine: String,
+    /// Graph backing the requests were served from: csr|compressed.
+    backend: String,
     epsilon_per_request: f64,
     budget_per_target: f64,
     sensitivity: f64,
@@ -106,12 +108,14 @@ pub fn run(opts: &ServeOptions) {
         None => Vec::new(),
     };
 
-    let (graph, _ids) = super::load_serving_graph(
+    let (backend, _ids) = super::load_serving_backend(
         opts.input.as_deref(),
         opts.directed,
         &opts.preset,
         opts.scale,
         opts.seed,
+        &opts.backend,
+        opts.snapshot.as_deref(),
     );
     let utility: Box<dyn UtilityFunction> = match opts.utility.as_str() {
         "common-neighbors" => Box::new(CommonNeighbors),
@@ -123,8 +127,8 @@ pub fn run(opts: &ServeOptions) {
         .engine
         .parse()
         .unwrap_or_else(|e| unreachable!("arg parser admits only known engines: {e}"));
-    let service = RecommendationService::new(
-        graph,
+    let service = RecommendationService::with_backend(
+        backend,
         utility,
         ServiceConfig {
             epsilon_per_request: opts.epsilon,
@@ -134,6 +138,10 @@ pub fn run(opts: &ServeOptions) {
             ..Default::default()
         },
     );
+    // Captured before the run: mid-stream compaction re-bases the service
+    // onto an in-RAM CSR, and the report should name the backing the run
+    // *started* from.
+    let backend_kind = service.backend_kind().to_owned();
 
     // Assemble the daemon input: chunk r at synthetic time 2r+1, its
     // mutation batch (if any) at 2r+2, so the sequence is time-ordered
@@ -188,6 +196,7 @@ pub fn run(opts: &ServeOptions) {
     let report = ServeReport {
         utility: utility_name,
         engine: engine.name().to_owned(),
+        backend: backend_kind,
         epsilon_per_request: opts.epsilon,
         budget_per_target: opts.budget,
         sensitivity: service.sensitivity(),

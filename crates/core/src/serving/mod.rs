@@ -71,7 +71,9 @@ use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Arc, Mutex, RwLock};
 
 use epoch::EpochState;
-use psr_graph::{DeltaGraph, EdgeMutation, Graph, GraphError, GraphView, MutationOp, NodeId};
+use psr_graph::{
+    DeltaGraph, EdgeMutation, Graph, GraphBackend, GraphError, GraphView, MutationOp, NodeId,
+};
 use psr_privacy::TopKEngine;
 use psr_utility::{SensitivityNorm, UtilityFunction};
 use serde::{Deserialize, Serialize};
@@ -286,8 +288,25 @@ impl RecommendationService {
         utility: Box<dyn UtilityFunction>,
         config: ServiceConfig,
     ) -> Self {
+        Self::with_backend(GraphBackend::Csr(graph.into()), utility, config)
+    }
+
+    /// Assembles a service at epoch 0 over any [`GraphBackend`] — in-RAM
+    /// CSR, compressed (possibly mmap-backed) snapshot, or sharded
+    /// segments — with a volatile in-memory budget ledger. The serving
+    /// pipeline reads the base purely through [`psr_graph::GraphView`], so
+    /// outcomes are bit-identical across backings (the `graph_backend`
+    /// conformance suite asserts this).
+    ///
+    /// # Panics
+    /// Same contract as [`RecommendationService::new`].
+    pub fn with_backend(
+        backend: GraphBackend,
+        utility: Box<dyn UtilityFunction>,
+        config: ServiceConfig,
+    ) -> Self {
         let ledger = Box::new(BudgetAccountant::new(config.budget_per_target));
-        Self::with_ledger(graph, utility, config, ledger)
+        Self::with_backend_and_ledger(backend, utility, config, ledger)
     }
 
     /// Assembles a service at epoch 0 over an explicit budget ledger —
@@ -305,6 +324,20 @@ impl RecommendationService {
         config: ServiceConfig,
         ledger: Box<dyn BudgetLedger>,
     ) -> Self {
+        Self::with_backend_and_ledger(GraphBackend::Csr(graph.into()), utility, config, ledger)
+    }
+
+    /// [`RecommendationService::with_backend`] over an explicit budget
+    /// ledger (see [`RecommendationService::with_ledger`]).
+    ///
+    /// # Panics
+    /// Same contract as [`RecommendationService::with_ledger`].
+    pub fn with_backend_and_ledger(
+        backend: GraphBackend,
+        utility: Box<dyn UtilityFunction>,
+        config: ServiceConfig,
+        ledger: Box<dyn BudgetLedger>,
+    ) -> Self {
         assert!(config.epsilon_per_request > 0.0, "epsilon must be positive");
         assert!(
             ledger.budget_per_target() == config.budget_per_target,
@@ -312,7 +345,7 @@ impl RecommendationService {
             ledger.budget_per_target(),
             config.budget_per_target,
         );
-        let graph = DeltaGraph::new(graph);
+        let graph = DeltaGraph::with_backend(backend);
         let utility: Arc<dyn UtilityFunction> = Arc::from(utility);
         let sensitivity = calibrate(&config, utility.as_ref(), &graph);
         let state = EpochState::new(
@@ -343,8 +376,21 @@ impl RecommendationService {
     /// [`crate::Recommender`]s or further services to the same instance.
     /// Pending overlay mutations (if any) are *not* visible through it;
     /// [`RecommendationService::snapshot`] materialises them.
+    ///
+    /// For the CSR backend this is a cheap `Arc` clone sharing the exact
+    /// snapshot. Other backends (compressed, sharded) are materialised
+    /// into a fresh in-RAM CSR on each call — an O(arcs) decode — so
+    /// wire-once-and-share is the intended pattern there.
     pub fn shared_graph(&self) -> Arc<Graph> {
-        Arc::clone(self.pin().state.graph.base())
+        self.pin().state.graph.base().to_graph_arc()
+    }
+
+    /// Short name of the current epoch's base backing (`"csr"`,
+    /// `"compressed"`, `"sharded"`), for reports and logs. Compaction
+    /// re-bases onto an in-RAM CSR, so a service started on the compressed
+    /// backend reports `"csr"` after its first compaction.
+    pub fn backend_kind(&self) -> &'static str {
+        self.pin().state.graph.base().kind()
     }
 
     /// The current read view, pinned: base CSR plus pending overlay

@@ -20,7 +20,9 @@ pub mod presets;
 pub mod toy;
 
 pub use meta::DatasetMeta;
-pub use presets::{twitter_like, wiki_vote_like, PresetConfig};
+pub use presets::{
+    livejournal_like, livejournal_like_snapshot, twitter_like, wiki_vote_like, PresetConfig,
+};
 
 use std::path::Path;
 

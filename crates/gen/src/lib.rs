@@ -12,7 +12,9 @@
 //!   the model behind "power law degree distribution" in §5.1),
 //! * [`watts_strogatz`] — small-world ring lattices,
 //! * [`config_model`] — erased configuration model over an explicit
-//!   power-law degree sequence.
+//!   power-law degree sequence,
+//! * [`rmat`] — streaming R-MAT arc sampling for LiveJournal-class graphs
+//!   that must be built out of core (`psr_graph::OutOfCoreBuilder`).
 //!
 //! All generators are deterministic given a [`seed`], making every figure
 //! in the reproduction replayable.
@@ -26,6 +28,7 @@ pub mod barabasi_albert;
 pub mod config_model;
 pub mod degrees;
 pub mod erdos_renyi;
+pub mod rmat;
 pub mod seed;
 pub mod stream;
 pub mod watts_strogatz;
@@ -34,6 +37,7 @@ pub use barabasi_albert::{ba_directed, ba_undirected, BaParams};
 pub use config_model::erased_configuration_model;
 pub use degrees::{powerlaw_degree_sequence, PowerLawParams};
 pub use erdos_renyi::{gnm, gnp};
+pub use rmat::{rmat_arcs, RmatArcs, RmatParams};
 pub use seed::{rng_from_seed, split_seed};
 pub use stream::{
     edge_stream, request_stream, ReplayClock, RequestEvent, RequestStreamParams, StreamEvent,

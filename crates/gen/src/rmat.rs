@@ -1,0 +1,205 @@
+//! Streaming R-MAT (recursive matrix) edge sampling.
+//!
+//! The paper's largest graphs (the Twitter sample, and by extension
+//! web-scale follow graphs like LiveJournal) are far too big to grow with
+//! the quadratic-ish preferential-attachment loop in
+//! [`crate::barabasi_albert`]. R-MAT (Chakrabarti, Zhan, Faloutsos, SDM
+//! 2004) samples each arc independently in `O(log n)` by recursively
+//! descending a 2×2 partition of the adjacency matrix with skewed quadrant
+//! probabilities — the Graph500 generator uses the same scheme. Skewed
+//! quadrants produce the heavy-tailed in- and out-degree distributions the
+//! paper's §5.1 lower bounds depend on.
+//!
+//! The sampler here is a true *iterator*: arcs stream out one at a time
+//! and are never materialised, so it can feed
+//! `psr_graph::OutOfCoreBuilder` to build snapshots far larger than RAM.
+//! Non-power-of-two node counts and self-loops are handled by rejection:
+//! a sampled arc landing outside `[0, n)²` or on the diagonal is redrawn.
+
+use psr_graph::NodeId;
+use rand::Rng;
+
+/// Parameters of an R-MAT sample.
+///
+/// `a`, `b` and `c` are the probabilities of the top-left (hub→hub),
+/// top-right and bottom-left quadrants at every recursion level; the
+/// bottom-right quadrant gets the remainder `1 - a - b - c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Number of nodes (rejection sampling handles non-powers of two).
+    pub nodes: usize,
+    /// Number of arcs to sample. Duplicates are possible (and expected —
+    /// that is what concentrates degree on low-id hubs); deduplication is
+    /// the consumer's job.
+    pub edges: usize,
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Graph500-style social-network skew: `(a, b, c) = (0.57, 0.19,
+    /// 0.19)`, leaving `d = 0.05`. Produces power-law-ish in- and
+    /// out-degree tails concentrated on low node ids.
+    pub fn social(nodes: usize, edges: usize) -> Self {
+        RmatParams { nodes, edges, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Bottom-right quadrant probability.
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Recursion depth: smallest `L` with `2^L >= nodes`.
+    fn levels(&self) -> u32 {
+        let n = self.nodes.max(2);
+        usize::BITS - (n - 1).leading_zeros()
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes >= 2, "R-MAT needs at least two nodes");
+        assert!(
+            u32::try_from(self.nodes).is_ok(),
+            "node count {} exceeds the u32 id space",
+            self.nodes
+        );
+        for (name, p) in [("a", self.a), ("b", self.b), ("c", self.c), ("d", self.d())] {
+            assert!(p > 0.0 && p < 1.0, "quadrant probability {name} = {p} not in (0,1)");
+        }
+    }
+}
+
+/// Streaming iterator over `params.edges` sampled arcs `(source, target)`.
+///
+/// Deterministic given the RNG; arcs may repeat and both orientations of a
+/// pair may appear. Self-loops never appear and every endpoint is in
+/// `[0, params.nodes)`.
+#[derive(Debug)]
+pub struct RmatArcs<'a, R: Rng> {
+    params: RmatParams,
+    levels: u32,
+    remaining: usize,
+    rng: &'a mut R,
+}
+
+/// Creates a streaming R-MAT arc sampler. See [`RmatArcs`].
+pub fn rmat_arcs<R: Rng>(params: RmatParams, rng: &mut R) -> RmatArcs<'_, R> {
+    params.validate();
+    RmatArcs { params, levels: params.levels(), remaining: params.edges, rng }
+}
+
+impl<R: Rng> RmatArcs<'_, R> {
+    /// One accepted arc: descend `levels` quadrant choices, rejecting
+    /// samples that land outside the (possibly non-power-of-two) node
+    /// range or on the diagonal.
+    fn sample(&mut self) -> (NodeId, NodeId) {
+        let n = self.params.nodes;
+        let (a, b, c) = (self.params.a, self.params.b, self.params.c);
+        loop {
+            let mut u = 0usize;
+            let mut v = 0usize;
+            for _ in 0..self.levels {
+                u <<= 1;
+                v <<= 1;
+                let r: f64 = self.rng.gen();
+                if r < a {
+                    // top-left: both high bits 0
+                } else if r < a + b {
+                    v |= 1;
+                } else if r < a + b + c {
+                    u |= 1;
+                } else {
+                    u |= 1;
+                    v |= 1;
+                }
+            }
+            if u < n && v < n && u != v {
+                return (u as NodeId, v as NodeId);
+            }
+        }
+    }
+}
+
+impl<R: Rng> Iterator for RmatArcs<'_, R> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.sample())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<R: Rng> ExactSizeIterator for RmatArcs<'_, R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::rng_from_seed;
+
+    #[test]
+    fn emits_exactly_the_requested_arcs_in_range() {
+        let params = RmatParams::social(1000, 5000); // non-power-of-two n
+        let arcs: Vec<_> = rmat_arcs(params, &mut rng_from_seed(1)).collect();
+        assert_eq!(arcs.len(), 5000);
+        for &(u, v) in &arcs {
+            assert!((u as usize) < 1000 && (v as usize) < 1000);
+            assert_ne!(u, v, "self-loop sampled");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = RmatParams::social(512, 2000);
+        let a: Vec<_> = rmat_arcs(params, &mut rng_from_seed(9)).collect();
+        let b: Vec<_> = rmat_arcs(params, &mut rng_from_seed(9)).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = rmat_arcs(params, &mut rng_from_seed(10)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn social_skew_concentrates_degree_on_low_ids() {
+        let n = 4096;
+        let params = RmatParams::social(n, 40_000);
+        let mut out_deg = vec![0usize; n];
+        for (u, _) in rmat_arcs(params, &mut rng_from_seed(3)) {
+            out_deg[u as usize] += 1;
+        }
+        // a = 0.57 at every level biases both endpoints toward id 0; the
+        // low half of the id space must dominate and the max degree must
+        // sit far above the mean (heavy tail).
+        let low: usize = out_deg[..n / 2].iter().sum();
+        let high: usize = out_deg[n / 2..].iter().sum();
+        assert!(low > 2 * high, "low-id half {low} vs high-id half {high}");
+        let max = *out_deg.iter().max().unwrap();
+        let mean = 40_000.0 / n as f64;
+        assert!(max as f64 > 10.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let params = RmatParams::social(64, 100);
+        let mut rng = rng_from_seed(4);
+        let mut it = rmat_arcs(params, &mut rng);
+        assert_eq!(it.len(), 100);
+        it.next();
+        assert_eq!(it.size_hint(), (99, Some(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant probability")]
+    fn degenerate_probabilities_rejected() {
+        let params = RmatParams { nodes: 16, edges: 1, a: 0.6, b: 0.3, c: 0.2 };
+        let _ = rmat_arcs(params, &mut rng_from_seed(0));
+    }
+}

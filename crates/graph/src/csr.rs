@@ -3,7 +3,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::builder::Direction;
+use crate::error::GraphError;
 use crate::node::{ix, NodeId};
+use crate::view::GraphView;
 
 /// An immutable graph in compressed-sparse-row form.
 ///
@@ -12,7 +14,7 @@ use crate::node::{ix, NodeId};
 /// logical (undirected) edge count. Neighbour lists are sorted, which makes
 /// [`Graph::has_edge`] a binary search and lets set-intersection style
 /// algorithms run without hashing.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Graph {
     direction: Direction,
     /// `offsets[v]..offsets[v+1]` indexes `targets` with v's out-neighbours.
@@ -38,6 +40,114 @@ impl Graph {
         Graph { direction, offsets, targets, num_edges }
     }
 
+    /// Builds a graph from CSR parts supplied by an *untrusted* source
+    /// (binary snapshots, serde trees, compressed-format materialisation),
+    /// re-checking every structural invariant in release builds:
+    ///
+    /// - non-empty offset table starting at 0, monotone non-decreasing,
+    ///   last entry equal to `targets.len()`;
+    /// - node count addressable by [`NodeId`];
+    /// - every neighbour list strictly ascending (sorted + deduplicated),
+    ///   in range, and free of self-loops;
+    /// - `num_edges` consistent with the arc count for the direction
+    ///   (`arcs == num_edges` directed, `arcs == 2 * num_edges` undirected);
+    /// - exact symmetry for undirected graphs (every arc has its reverse).
+    ///
+    /// All deserialization entry points route through this; internal
+    /// construction (builder, mutation, compaction) keeps using the
+    /// unchecked [`Graph::from_parts`].
+    pub fn try_from_parts(
+        direction: Direction,
+        offsets: Vec<u64>,
+        targets: Vec<NodeId>,
+        num_edges: usize,
+    ) -> Result<Self, GraphError> {
+        let first = *offsets
+            .first()
+            .ok_or_else(|| GraphError::Invariant("offset table is empty".into()))?;
+        if first != 0 {
+            return Err(GraphError::Invariant(format!("offsets[0] = {first}, expected 0")));
+        }
+        let n = offsets.len() - 1;
+        if u32::try_from(n).is_err() {
+            return Err(GraphError::Overflow { what: "node count", value: n as u64 });
+        }
+        for (i, pair) in offsets.windows(2).enumerate() {
+            if pair[1] < pair[0] {
+                return Err(GraphError::Invariant(format!(
+                    "offsets not monotone at node {i}: {} > {}",
+                    pair[0], pair[1]
+                )));
+            }
+        }
+        let last = *offsets.last().unwrap();
+        if last != targets.len() as u64 {
+            return Err(GraphError::Invariant(format!(
+                "last offset {last} does not match target count {}",
+                targets.len()
+            )));
+        }
+        let expected_arcs = match direction {
+            Direction::Directed => Some(num_edges),
+            Direction::Undirected => num_edges.checked_mul(2),
+        };
+        if expected_arcs != Some(targets.len()) {
+            return Err(GraphError::Invariant(format!(
+                "{} arcs inconsistent with num_edges = {num_edges} ({direction:?})",
+                targets.len()
+            )));
+        }
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let list = &targets[lo..hi];
+            let mut prev: Option<NodeId> = None;
+            for &t in list {
+                if ix(t) >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u64::from(t), num_nodes: n });
+                }
+                if ix(t) == v {
+                    return Err(GraphError::SelfLoop { node: v as u64 });
+                }
+                if let Some(p) = prev {
+                    if t <= p {
+                        return Err(GraphError::Invariant(format!(
+                            "neighbour list of node {v} not strictly ascending ({p} then {t})"
+                        )));
+                    }
+                }
+                prev = Some(t);
+            }
+        }
+        let graph = Graph { direction, offsets, targets, num_edges };
+        if direction == Direction::Undirected {
+            for (u, v) in graph.arcs() {
+                if !graph.has_edge(v, u) {
+                    return Err(GraphError::Invariant(format!(
+                        "undirected graph missing reverse arc ({v}, {u})"
+                    )));
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Materialises any [`GraphView`] into an in-RAM CSR `Graph`, preserving
+    /// direction. Invariants hold by the `GraphView` contract, so this uses
+    /// the unchecked constructor; decode paths validate before exposing a
+    /// view.
+    pub fn from_view<V: GraphView + ?Sized>(view: &V) -> Graph {
+        let n = view.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut targets = Vec::new();
+        for v in 0..n {
+            targets.extend_from_slice(view.neighbors(v as NodeId));
+            offsets.push(targets.len() as u64);
+        }
+        Graph::from_parts(view.direction(), offsets, targets, view.num_edges())
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -50,11 +160,22 @@ impl Graph {
         self.num_edges
     }
 
-    /// Number of stored directed arcs (for undirected graphs this is
-    /// `2 * num_edges()` minus nothing — both directions are materialised).
+    /// Number of stored directed arcs. For a directed graph this equals
+    /// [`Graph::num_edges`]. For an undirected graph every edge is
+    /// materialised in both orientations, so this is exactly
+    /// `2 * num_edges()` — the graphs are simple (no self-loops, which would
+    /// otherwise contribute only one arc each and break the factor of two).
     #[inline]
     pub fn num_arcs(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Approximate heap footprint of the CSR arrays in bytes (offsets +
+    /// targets). Used by the `graph_backend` bench to compare against the
+    /// compressed snapshot size.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
     }
 
     /// Whether the graph is directed.
@@ -162,6 +283,20 @@ impl Graph {
     }
 }
 
+// Manual impl (the derive would trust the fields verbatim): serde trees are
+// an untrusted deserialization entry point, so rebuilt graphs must pass
+// `try_from_parts` in release builds too.
+impl Deserialize for Graph {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let direction = Direction::deserialize(value.get_field("direction")?)?;
+        let offsets = <Vec<u64>>::deserialize(value.get_field("offsets")?)?;
+        let targets = <Vec<NodeId>>::deserialize(value.get_field("targets")?)?;
+        let num_edges = usize::deserialize(value.get_field("num_edges")?)?;
+        Graph::try_from_parts(direction, offsets, targets, num_edges)
+            .map_err(|e| serde::Error::new(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{Direction, GraphBuilder};
@@ -252,5 +387,84 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let back: crate::Graph = serde_json::from_str(&json).unwrap();
         assert_eq!(back, g);
+    }
+
+    #[test]
+    fn serde_rejects_invariant_violations() {
+        use serde::{Deserialize as _, Serialize as _, Value};
+        fn with_field(g: &crate::Graph, name: &str, new: Value) -> Value {
+            let mut tree = g.serialize();
+            let Value::Object(fields) = &mut tree else { panic!("graph serializes to object") };
+            let slot = fields.iter_mut().find(|(k, _)| k == name).expect("field present");
+            slot.1 = new;
+            tree
+        }
+        let g = path_graph();
+        // Non-monotone offsets: the path graph's table is [0,1,3,5,6].
+        let bad = with_field(
+            &g,
+            "offsets",
+            Value::Array([0u64, 3, 1, 5, 6].iter().map(|&x| Value::UInt(x)).collect()),
+        );
+        let err = crate::Graph::deserialize(&bad).unwrap_err();
+        assert!(err.to_string().contains("monotone"), "got: {err}");
+        // Lying edge count.
+        let bad = with_field(&g, "num_edges", Value::UInt(7));
+        assert!(crate::Graph::deserialize(&bad).is_err());
+    }
+
+    #[test]
+    fn try_from_parts_accepts_valid_graphs() {
+        let g = path_graph();
+        let rebuilt = crate::Graph::try_from_parts(
+            Direction::Undirected,
+            vec![0, 1, 3, 5, 6],
+            vec![1, 0, 2, 1, 3, 2],
+            3,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, g);
+        // The empty graph is valid too.
+        let empty = crate::Graph::try_from_parts(Direction::Directed, vec![0], vec![], 0).unwrap();
+        assert_eq!(empty.num_nodes(), 0);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_each_violation() {
+        use crate::GraphError;
+        type Parts = (Direction, Vec<u64>, Vec<u32>, usize);
+        let cases: Vec<(Parts, &str)> = vec![
+            ((Direction::Directed, vec![], vec![], 0), "empty offsets"),
+            ((Direction::Directed, vec![1, 1], vec![0], 1), "nonzero first offset"),
+            ((Direction::Directed, vec![0, 2, 1, 3], vec![1, 2, 0], 3), "non-monotone"),
+            ((Direction::Directed, vec![0, 1, 2], vec![1], 1), "last offset short"),
+            ((Direction::Directed, vec![0, 1, 2], vec![1, 0], 3), "edge count lie"),
+            ((Direction::Undirected, vec![0, 1, 2], vec![1, 0], 2), "undirected count lie"),
+            ((Direction::Directed, vec![0, 2, 2], vec![1, 1], 2), "duplicate neighbour"),
+            ((Direction::Directed, vec![0, 2, 2], vec![1, 0], 2), "unsorted neighbours"),
+            ((Direction::Directed, vec![0, 1, 1], vec![5], 1), "target out of range"),
+            ((Direction::Directed, vec![0, 1, 1], vec![0], 1), "self-loop"),
+            ((Direction::Undirected, vec![0, 1, 1, 2], vec![1, 1], 1), "asymmetric arcs"),
+        ];
+        for ((direction, offsets, targets, num_edges), label) in cases {
+            let got = crate::Graph::try_from_parts(direction, offsets, targets, num_edges);
+            assert!(got.is_err(), "{label} should be rejected");
+            let err = got.unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    GraphError::Invariant(_)
+                        | GraphError::NodeOutOfRange { .. }
+                        | GraphError::SelfLoop { .. }
+                ),
+                "{label} returned unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_view_round_trips_csr() {
+        let g = path_graph();
+        assert_eq!(crate::Graph::from_view(&g), g);
     }
 }

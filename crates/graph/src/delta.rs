@@ -35,7 +35,7 @@ use crate::csr::Graph;
 use crate::error::GraphError;
 use crate::mutation::{EdgeMutation, MutationOp};
 use crate::node::{ix, NodeId};
-use crate::view::GraphView;
+use crate::view::{GraphBackend, GraphView};
 use crate::Result;
 
 /// Overlay state of one dirty node. All three lists are sorted ascending.
@@ -70,7 +70,7 @@ impl NodeOverlay {
 /// equal edge sets.
 #[derive(Debug, Clone)]
 pub struct DeltaGraph {
-    base: Arc<Graph>,
+    base: GraphBackend,
     /// Dirty-node overlay, keyed by node id (ordered for deterministic
     /// iteration of the dirty set).
     overlay: BTreeMap<NodeId, NodeOverlay>,
@@ -86,7 +86,14 @@ impl DeltaGraph {
     /// Wraps a base snapshot in an empty overlay. Accepts an owned
     /// [`Graph`] or an [`Arc<Graph>`] already shared with other consumers.
     pub fn new(base: impl Into<Arc<Graph>>) -> Self {
-        let base = base.into();
+        DeltaGraph::with_backend(GraphBackend::Csr(base.into()))
+    }
+
+    /// Wraps any [`GraphBackend`] — in-RAM CSR, compressed snapshot, or
+    /// sharded segments — in an empty overlay. The overlay layer itself is
+    /// backend-oblivious: clean nodes read straight through, dirty nodes
+    /// seed their merged list from whatever backing serves `neighbors`.
+    pub fn with_backend(base: GraphBackend) -> Self {
         let num_edges = base.num_edges();
         DeltaGraph {
             base,
@@ -115,8 +122,8 @@ impl DeltaGraph {
         self.extra_nodes
     }
 
-    /// The shared base snapshot the overlay layers over.
-    pub fn base(&self) -> &Arc<Graph> {
+    /// The shared base backend the overlay layers over.
+    pub fn base(&self) -> &GraphBackend {
         &self.base
     }
 
@@ -361,7 +368,7 @@ mod tests {
             assert_eq!(GraphView::neighbors(&d, v), b.neighbors(v));
         }
         assert_eq!(d.compact(), *b);
-        assert!(Arc::ptr_eq(d.base(), &b));
+        assert!(Arc::ptr_eq(d.base().as_csr().unwrap(), &b));
     }
 
     #[test]
@@ -414,7 +421,7 @@ mod tests {
         assert!(d.is_clean(), "net-zero edits must empty the dirty set");
         assert_eq!(d.pending_deletions(), 0);
         assert_eq!(d.pending_insertions(), 0);
-        assert_eq!(d.compact(), *d.base().as_ref());
+        assert_eq!(d.compact(), *d.base().to_graph_arc());
 
         d.insert_edge(0, 3).unwrap();
         d.remove_edge(3, 0).unwrap();
@@ -513,6 +520,23 @@ mod tests {
             d.insert_edge(0, 7).unwrap_err(),
             GraphError::NodeOutOfRange { node: 7, num_nodes: 7 }
         );
+    }
+
+    #[test]
+    fn overlay_over_compressed_backend_matches_csr() {
+        let b = base();
+        let z = crate::CompressedCsr::open_bytes(crate::CompressedCsr::encode(&*b, 2)).unwrap();
+        let mut dc = DeltaGraph::with_backend(GraphBackend::from(z));
+        let mut dg = DeltaGraph::new(Arc::clone(&b));
+        assert_eq!(dc.base().kind(), "compressed");
+        for d in [&mut dc, &mut dg] {
+            d.insert_edge(0, 4).unwrap();
+            d.remove_edge(1, 2).unwrap();
+        }
+        for v in 0..5 {
+            assert_eq!(GraphView::neighbors(&dc, v), GraphView::neighbors(&dg, v));
+        }
+        assert_eq!(dc.compact(), dg.compact());
     }
 
     #[test]

@@ -44,6 +44,24 @@ pub enum GraphError {
         /// Human-readable description.
         String,
     ),
+    /// A size field read from an untrusted snapshot does not fit `usize` on
+    /// this platform (e.g. a 64-bit node count decoded on a 32-bit target),
+    /// or a derived byte count overflowed. Returned instead of silently
+    /// truncating with `as usize`.
+    Overflow {
+        /// Which header/derived field overflowed.
+        what: &'static str,
+        /// The raw value that did not fit.
+        value: u64,
+    },
+    /// Decoded CSR parts violate a structural invariant (monotone offsets,
+    /// sorted deduplicated in-range neighbour lists, no self-loops,
+    /// edge/arc-count consistency, undirected symmetry). Produced by
+    /// [`crate::Graph::try_from_parts`] on every deserialization path.
+    Invariant(
+        /// Human-readable description of the violated invariant.
+        String,
+    ),
     /// Underlying I/O failure (message-only so the error stays `Clone + Eq`).
     Io(
         /// Stringified `std::io::Error`.
@@ -64,6 +82,10 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Decode(msg) => write!(f, "binary decode error: {msg}"),
+            GraphError::Overflow { what, value } => {
+                write!(f, "snapshot field {what} = {value} does not fit usize on this platform")
+            }
+            GraphError::Invariant(msg) => write!(f, "graph invariant violated: {msg}"),
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -91,6 +113,14 @@ mod tests {
             ),
             (GraphError::EdgeNotFound { from: 1, to: 2 }, "edge (1, 2) not found"),
             (GraphError::EdgeExists { from: 1, to: 2 }, "edge (1, 2) already exists"),
+            (
+                GraphError::Overflow { what: "node count", value: u64::MAX },
+                "snapshot field node count = 18446744073709551615 does not fit usize on this platform",
+            ),
+            (
+                GraphError::Invariant("offsets not monotone".into()),
+                "graph invariant violated: offsets not monotone",
+            ),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);

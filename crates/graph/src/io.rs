@@ -161,12 +161,22 @@ pub mod binary {
     }
 
     /// Decodes a binary snapshot produced by [`encode`].
+    ///
+    /// Every header field is untrusted: size fields go through `try_into`
+    /// (typed [`GraphError::Overflow`] instead of an `as usize` truncation),
+    /// derived byte counts use checked arithmetic and are bounded by the
+    /// actual buffer length *before* any allocation, and the decoded parts
+    /// pass [`Graph::try_from_parts`] (monotone offsets, sorted in-range
+    /// lists, edge/arc consistency, undirected symmetry) in release builds.
     pub fn decode(mut data: Bytes) -> Result<Graph> {
         let need = |data: &Bytes, n: usize, what: &str| -> Result<()> {
             if data.remaining() < n {
                 return Err(GraphError::Decode(format!("truncated while reading {what}")));
             }
             Ok(())
+        };
+        let checked = |raw: u64, what: &'static str| -> Result<usize> {
+            raw.try_into().map_err(|_| GraphError::Overflow { what, value: raw })
         };
         need(&data, 4, "magic")?;
         let mut magic = [0u8; 4];
@@ -183,18 +193,35 @@ pub mod binary {
         let direction =
             if data.get_u8() == 1 { Direction::Directed } else { Direction::Undirected };
         need(&data, 24, "counts")?;
-        let n = data.get_u64_le() as usize;
-        let num_edges = data.get_u64_le() as usize;
-        let num_arcs = data.get_u64_le() as usize;
-        need(&data, (n + 1) * 8, "offsets")?;
+        let n = checked(data.get_u64_le(), "node count")?;
+        let num_edges = checked(data.get_u64_le(), "edge count")?;
+        let num_arcs = checked(data.get_u64_le(), "arc count")?;
+        if u32::try_from(n).is_err() {
+            return Err(GraphError::Overflow { what: "node count (u32 ids)", value: n as u64 });
+        }
+        let offsets_bytes = n
+            .checked_add(1)
+            .and_then(|rows| rows.checked_mul(8))
+            .ok_or(GraphError::Overflow { what: "offset table bytes", value: n as u64 })?;
+        need(&data, offsets_bytes, "offsets")?;
         let mut offsets = Vec::with_capacity(n + 1);
         for _ in 0..=n {
             offsets.push(data.get_u64_le());
         }
-        if *offsets.last().unwrap_or(&0) as usize != num_arcs {
-            return Err(GraphError::Decode("offset/arc-count mismatch".into()));
+        // Structurally `offsets` always has >= 1 entry; keep the explicit
+        // check so a future layout change cannot reintroduce the silent
+        // `unwrap_or(&0)` masking this satellite fixed.
+        let last =
+            *offsets.last().ok_or_else(|| GraphError::Decode("empty offset table".into()))?;
+        if last != num_arcs as u64 {
+            return Err(GraphError::Decode(format!(
+                "offset/arc-count mismatch: last offset {last}, header claims {num_arcs}"
+            )));
         }
-        need(&data, num_arcs * 4, "targets")?;
+        let target_bytes = num_arcs
+            .checked_mul(4)
+            .ok_or(GraphError::Overflow { what: "target bytes", value: num_arcs as u64 })?;
+        need(&data, target_bytes, "targets")?;
         let mut targets = Vec::with_capacity(num_arcs);
         for _ in 0..num_arcs {
             let t = data.get_u32_le();
@@ -203,7 +230,7 @@ pub mod binary {
             }
             targets.push(t);
         }
-        Ok(Graph::from_parts(direction, offsets, targets, num_edges))
+        Graph::try_from_parts(direction, offsets, targets, num_edges)
     }
 }
 

@@ -48,22 +48,29 @@
 mod adjacency;
 pub mod algo;
 mod builder;
+pub mod compressed;
 mod csr;
 mod delta;
 mod error;
 pub mod io;
 mod mutation;
 mod node;
+pub mod shard;
 mod view;
 
 pub use adjacency::MutableGraph;
-pub use builder::{directed_from_edges, undirected_from_edges, Direction, GraphBuilder};
+pub use builder::{
+    directed_from_edges, undirected_from_edges, Direction, GraphBuilder, OutOfCoreBuilder,
+    SnapshotStats,
+};
+pub use compressed::{CompressedCsr, DecodeWorkspace};
 pub use csr::Graph;
 pub use delta::DeltaGraph;
 pub use error::GraphError;
 pub use mutation::{rewire_node, EdgeMutation, MutationOp};
 pub use node::NodeId;
-pub use view::GraphView;
+pub use shard::{degree_balanced_shards, shards_from_degrees, ShardRange, ShardedGraph};
+pub use view::{GraphBackend, GraphView};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

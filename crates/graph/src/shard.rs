@@ -1,0 +1,269 @@
+//! Degree-balanced shard partitions over contiguous node ranges.
+//!
+//! A shard is a half-open node range `[start, end)` annotated with the number
+//! of stored arcs inside it. Partitions are *degree balanced*: boundaries are
+//! chosen so every shard carries roughly `total_arcs / shard_count` arcs
+//! (within one node's degree, since ranges stay contiguous). The compressed
+//! snapshot format embeds the partition as its shard manifest, and
+//! [`ShardedGraph`] serves reads from per-shard CSR segments behind
+//! [`GraphView`] so kernels and the serving layer never see the split.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::Direction;
+use crate::csr::Graph;
+use crate::node::{ix, NodeId};
+use crate::view::GraphView;
+
+/// A contiguous node range `[start, end)` holding `arcs` stored arcs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRange {
+    /// First node of the shard (inclusive).
+    pub start: NodeId,
+    /// One past the last node of the shard (exclusive).
+    pub end: NodeId,
+    /// Number of stored arcs whose source lies in `[start, end)`.
+    pub arcs: u64,
+}
+
+impl ShardRange {
+    /// Number of nodes in the shard.
+    pub fn num_nodes(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether `v` falls inside the shard.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.start <= v && v < self.end
+    }
+}
+
+/// Computes a degree-balanced contiguous partition from an out-degree
+/// sequence (given as arc counts per node).
+///
+/// Guarantees:
+/// - shards cover `[0, degrees.len())` contiguously in order;
+/// - every shard is non-empty while nodes remain (so the partition has
+///   `min(shard_count, num_nodes)` shards — except the empty graph, which
+///   yields one empty shard);
+/// - each shard's arc load is within `max_degree` of the ideal
+///   `total_arcs / shard_count` (greedy split on the running prefix sum).
+pub fn shards_from_degrees(degrees: &[u64], shard_count: usize) -> Vec<ShardRange> {
+    let n = degrees.len();
+    if n == 0 {
+        return vec![ShardRange { start: 0, end: 0, arcs: 0 }];
+    }
+    let shard_count = shard_count.clamp(1, n);
+    let total: u64 = degrees.iter().sum();
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut spent = 0u64;
+    for (v, &d) in degrees.iter().enumerate() {
+        acc += d;
+        let shards_left = shard_count - shards.len();
+        let nodes_left = n - v - 1;
+        let remaining = total - spent;
+        // Close the shard once it reaches its fair share of the remaining
+        // arcs, or when the tail must be reserved one-node-per-shard.
+        let fair = remaining.div_ceil(shards_left as u64);
+        let must_close = nodes_left < shards_left;
+        if (acc >= fair || must_close) && shards.len() + 1 < shard_count {
+            shards.push(ShardRange { start: start as NodeId, end: (v + 1) as NodeId, arcs: acc });
+            spent += acc;
+            start = v + 1;
+            acc = 0;
+        }
+    }
+    shards.push(ShardRange { start: start as NodeId, end: n as NodeId, arcs: acc });
+    shards
+}
+
+/// Computes a degree-balanced partition for any [`GraphView`].
+pub fn degree_balanced_shards<V: GraphView + ?Sized>(
+    view: &V,
+    shard_count: usize,
+) -> Vec<ShardRange> {
+    let degrees: Vec<u64> =
+        (0..view.num_nodes()).map(|v| view.degree(v as NodeId) as u64).collect();
+    shards_from_degrees(&degrees, shard_count)
+}
+
+/// One shard's CSR segment: local offsets into its own target array.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Global id of the segment's first node.
+    start: usize,
+    /// Local offsets; `offsets[v - start]..offsets[v - start + 1]` indexes
+    /// `targets`.
+    offsets: Vec<u64>,
+    /// Concatenated sorted neighbour lists for the shard's nodes.
+    targets: Vec<NodeId>,
+}
+
+/// A graph split into degree-balanced per-shard CSR segments.
+///
+/// Reads dispatch to the owning segment via binary search on shard starts;
+/// the segments jointly hold exactly the arcs of the source view. This is the
+/// in-RAM sharded backing — it trades one extra indirection per read for
+/// per-shard locality and a layout that mirrors the snapshot manifest.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    direction: Direction,
+    num_edges: usize,
+    num_arcs: usize,
+    /// `starts[i]` is the first node of shard `i`; sorted ascending.
+    starts: Vec<NodeId>,
+    segments: Vec<Segment>,
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardedGraph {
+    /// Splits `view` into `shard_count` degree-balanced segments.
+    pub fn from_view<V: GraphView + ?Sized>(view: &V, shard_count: usize) -> ShardedGraph {
+        let ranges = degree_balanced_shards(view, shard_count);
+        let mut segments = Vec::with_capacity(ranges.len());
+        let mut starts = Vec::with_capacity(ranges.len());
+        let mut num_arcs = 0usize;
+        for r in &ranges {
+            let mut offsets = Vec::with_capacity(r.num_nodes() + 1);
+            offsets.push(0u64);
+            let mut targets = Vec::with_capacity(r.arcs as usize);
+            for v in r.start..r.end {
+                targets.extend_from_slice(view.neighbors(v));
+                offsets.push(targets.len() as u64);
+            }
+            num_arcs += targets.len();
+            starts.push(r.start);
+            segments.push(Segment { start: ix(r.start), offsets, targets });
+        }
+        ShardedGraph {
+            direction: view.direction(),
+            num_edges: view.num_edges(),
+            num_arcs,
+            starts,
+            segments,
+            ranges,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The shard ranges, in node order.
+    pub fn shard_ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+
+    /// Index of the shard owning node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        assert!(ix(v) < self.num_nodes(), "node {v} out of range");
+        self.starts.partition_point(|&s| s <= v) - 1
+    }
+
+    /// Materialises the sharded view back into a single CSR graph.
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_view(self)
+    }
+}
+
+impl GraphView for ShardedGraph {
+    fn num_nodes(&self) -> usize {
+        self.ranges.last().map_or(0, |r| ix(r.end))
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let seg = &self.segments[self.shard_of(v)];
+        let local = ix(v) - seg.start;
+        let lo = seg.offsets[local] as usize;
+        let hi = seg.offsets[local + 1] as usize;
+        &seg.targets[lo..hi]
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        let seg = &self.segments[self.shard_of(v)];
+        let local = ix(v) - seg.start;
+        (seg.offsets[local + 1] - seg.offsets[local]) as usize
+    }
+}
+
+impl ShardedGraph {
+    /// Total stored arcs across all segments.
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::undirected_from_edges;
+
+    #[test]
+    fn shards_cover_contiguously_and_sum_arcs() {
+        let degrees = vec![5u64, 1, 1, 1, 8, 1, 1, 1, 1, 1];
+        for k in 1..=12 {
+            let shards = shards_from_degrees(&degrees, k);
+            assert_eq!(shards[0].start, 0);
+            assert_eq!(shards.last().unwrap().end as usize, degrees.len());
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap between shards");
+                assert!(pair[0].num_nodes() > 0);
+            }
+            let total: u64 = shards.iter().map(|s| s.arcs).sum();
+            assert_eq!(total, degrees.iter().sum::<u64>());
+            assert_eq!(shards.len(), k.clamp(1, degrees.len()));
+        }
+    }
+
+    #[test]
+    fn empty_degree_sequence_yields_single_empty_shard() {
+        assert_eq!(shards_from_degrees(&[], 4), vec![ShardRange { start: 0, end: 0, arcs: 0 }]);
+    }
+
+    #[test]
+    fn balance_is_within_one_max_degree_of_ideal() {
+        let degrees: Vec<u64> = (0..1000).map(|i| (i % 17) as u64 + 1).collect();
+        let total: u64 = degrees.iter().sum();
+        let max_d = *degrees.iter().max().unwrap();
+        let k = 8;
+        let shards = shards_from_degrees(&degrees, k);
+        let ideal = total / k as u64;
+        for s in &shards {
+            assert!(s.arcs <= ideal + max_d + 1, "shard {s:?} overloaded vs ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn sharded_graph_reads_match_csr() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        for k in 1..=6 {
+            let s = ShardedGraph::from_view(&g, k);
+            assert_eq!(s.num_nodes(), g.num_nodes());
+            assert_eq!(s.num_edges(), g.num_edges());
+            assert_eq!(s.num_arcs(), g.num_arcs());
+            for v in g.nodes() {
+                assert_eq!(s.neighbors(v), g.neighbors(v), "shards={k} node={v}");
+                assert_eq!(GraphView::degree(&s, v), g.degree(v));
+                assert_eq!(
+                    s.shard_of(v),
+                    s.shard_ranges().iter().position(|r| r.contains(v)).unwrap()
+                );
+            }
+            assert_eq!(s.to_graph(), g);
+        }
+    }
+}

@@ -18,8 +18,10 @@ use std::sync::Arc;
 
 use crate::adjacency::MutableGraph;
 use crate::builder::Direction;
+use crate::compressed::CompressedCsr;
 use crate::csr::Graph;
 use crate::node::NodeId;
+use crate::shard::ShardedGraph;
 
 /// Read-only access to a simple graph with sorted adjacency.
 ///
@@ -139,6 +141,146 @@ macro_rules! forward_graph_view {
 
 forward_graph_view!(&V, Arc<V>, Box<V>);
 
+/// A cheaply clonable handle over any of the crate's graph backings.
+///
+/// `DeltaGraph` and the serving layer hold one of these instead of a
+/// concrete `Arc<Graph>`, which is how kernels and `RecommendationService`
+/// stay oblivious to whether reads come from the in-RAM CSR, the
+/// compressed (possibly mmap-backed) snapshot, or the sharded segments.
+#[derive(Debug, Clone)]
+pub enum GraphBackend {
+    /// Plain in-RAM CSR.
+    Csr(Arc<Graph>),
+    /// Varint/delta compressed snapshot ([`CompressedCsr`]), decoding
+    /// neighbour runs on demand.
+    Compressed(Arc<CompressedCsr>),
+    /// Degree-balanced per-shard CSR segments ([`ShardedGraph`]).
+    Sharded(Arc<ShardedGraph>),
+}
+
+impl GraphBackend {
+    /// Short stable name of the backing, for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphBackend::Csr(_) => "csr",
+            GraphBackend::Compressed(_) => "compressed",
+            GraphBackend::Sharded(_) => "sharded",
+        }
+    }
+
+    /// The underlying CSR when this backend is [`GraphBackend::Csr`].
+    pub fn as_csr(&self) -> Option<&Arc<Graph>> {
+        match self {
+            GraphBackend::Csr(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Materialises the backend into an in-RAM CSR: a cheap `Arc` clone for
+    /// the CSR case, a full decode otherwise.
+    pub fn to_graph_arc(&self) -> Arc<Graph> {
+        match self {
+            GraphBackend::Csr(g) => Arc::clone(g),
+            GraphBackend::Compressed(z) => Arc::new(z.to_graph()),
+            GraphBackend::Sharded(s) => Arc::new(s.to_graph()),
+        }
+    }
+}
+
+impl From<Graph> for GraphBackend {
+    fn from(g: Graph) -> Self {
+        GraphBackend::Csr(Arc::new(g))
+    }
+}
+
+impl From<Arc<Graph>> for GraphBackend {
+    fn from(g: Arc<Graph>) -> Self {
+        GraphBackend::Csr(g)
+    }
+}
+
+impl From<CompressedCsr> for GraphBackend {
+    fn from(z: CompressedCsr) -> Self {
+        GraphBackend::Compressed(Arc::new(z))
+    }
+}
+
+impl From<Arc<CompressedCsr>> for GraphBackend {
+    fn from(z: Arc<CompressedCsr>) -> Self {
+        GraphBackend::Compressed(z)
+    }
+}
+
+impl From<ShardedGraph> for GraphBackend {
+    fn from(s: ShardedGraph) -> Self {
+        GraphBackend::Sharded(Arc::new(s))
+    }
+}
+
+impl From<Arc<ShardedGraph>> for GraphBackend {
+    fn from(s: Arc<ShardedGraph>) -> Self {
+        GraphBackend::Sharded(s)
+    }
+}
+
+impl GraphView for GraphBackend {
+    fn num_nodes(&self) -> usize {
+        match self {
+            GraphBackend::Csr(g) => g.num_nodes(),
+            GraphBackend::Compressed(z) => GraphView::num_nodes(&**z),
+            GraphBackend::Sharded(s) => GraphView::num_nodes(&**s),
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        match self {
+            GraphBackend::Csr(g) => g.num_edges(),
+            GraphBackend::Compressed(z) => GraphView::num_edges(&**z),
+            GraphBackend::Sharded(s) => GraphView::num_edges(&**s),
+        }
+    }
+
+    fn direction(&self) -> Direction {
+        match self {
+            GraphBackend::Csr(g) => g.direction(),
+            GraphBackend::Compressed(z) => GraphView::direction(&**z),
+            GraphBackend::Sharded(s) => GraphView::direction(&**s),
+        }
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self {
+            GraphBackend::Csr(g) => g.neighbors(v),
+            GraphBackend::Compressed(z) => GraphView::neighbors(&**z, v),
+            GraphBackend::Sharded(s) => GraphView::neighbors(&**s, v),
+        }
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        match self {
+            GraphBackend::Csr(g) => g.degree(v),
+            GraphBackend::Compressed(z) => GraphView::degree(&**z, v),
+            GraphBackend::Sharded(s) => GraphView::degree(&**s, v),
+        }
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        match self {
+            GraphBackend::Csr(g) => g.has_edge(u, v),
+            GraphBackend::Compressed(z) => GraphView::has_edge(&**z, u, v),
+            GraphBackend::Sharded(s) => GraphView::has_edge(&**s, u, v),
+        }
+    }
+
+    fn max_degree(&self) -> usize {
+        match self {
+            GraphBackend::Csr(g) => g.max_degree(),
+            GraphBackend::Compressed(z) => GraphView::max_degree(&**z),
+            GraphBackend::Sharded(s) => GraphView::max_degree(&**s),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +302,27 @@ mod tests {
         assert_eq!(reads(&arc), expected);
         assert_eq!(reads(boxed.as_ref()), expected);
         assert_eq!(reads(&&g), expected);
+    }
+
+    #[test]
+    fn backend_dispatch_agrees_across_backings() {
+        let g = undirected_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let expected = (4, 4, vec![0, 2], true);
+        let csr = GraphBackend::from(g.clone());
+        let compressed =
+            GraphBackend::from(CompressedCsr::open_bytes(CompressedCsr::encode(&g, 2)).unwrap());
+        let sharded = GraphBackend::from(ShardedGraph::from_view(&g, 2));
+        for backend in [&csr, &compressed, &sharded] {
+            assert_eq!(reads(backend), expected, "backend {}", backend.kind());
+            assert_eq!(backend.max_degree(), 3);
+            assert_eq!(backend.degree(2), 3);
+            assert_eq!(*backend.to_graph_arc(), g);
+        }
+        assert_eq!(csr.kind(), "csr");
+        assert!(csr.as_csr().is_some());
+        assert!(compressed.as_csr().is_none());
+        assert_eq!(compressed.kind(), "compressed");
+        assert_eq!(sharded.kind(), "sharded");
     }
 
     #[test]

@@ -159,6 +159,30 @@ proptest! {
     }
 
     #[test]
+    fn binary_bit_flips_never_panic_and_never_misparse(
+        edges in edge_set(16, 40),
+        position in 0usize..1 << 16,
+        flip in 1u8..=255,
+    ) {
+        let g = GraphBuilder::new(Direction::Undirected)
+            .add_edges(edges.iter().copied())
+            .build()
+            .unwrap();
+        let bytes = binary::encode(&g).to_vec();
+        let at = position % bytes.len();
+        let mut bad = bytes;
+        bad[at] ^= flip;
+        // The legacy format has no checksum, so a flip in the adjacency
+        // payload can decode to a *different valid graph* — but it must
+        // never panic, and anything it accepts must satisfy every CSR
+        // invariant (`try_from_parts` runs on the decode path).
+        if let Ok(decoded) = binary::decode(bytes::Bytes::from(bad)) {
+            let reencoded = binary::decode(binary::encode(&decoded)).unwrap();
+            prop_assert_eq!(reencoded, decoded, "accepted graph must be canonical");
+        }
+    }
+
+    #[test]
     fn text_write_read_round_trips(edges in edge_set(24, 60), directed in 0u32..2) {
         let direction = if directed == 1 { Direction::Directed } else { Direction::Undirected };
         let g = GraphBuilder::new(direction)
@@ -189,5 +213,71 @@ proptest! {
         expect.sort_unstable();
         got.sort_unstable();
         prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy binary (PSRG) malformed corpus — deterministic
+// ---------------------------------------------------------------------
+
+fn psrg_fixture() -> bytes::Bytes {
+    let g = GraphBuilder::new(Direction::Undirected)
+        .add_edges([(0u32, 1u32), (1, 2), (2, 3), (0, 3)])
+        .with_num_nodes(5)
+        .build()
+        .unwrap();
+    binary::encode(&g)
+}
+
+#[test]
+fn psrg_every_truncation_point_is_a_typed_error() {
+    let bytes = psrg_fixture();
+    for cut in 0..bytes.len() {
+        let err = binary::decode(bytes.slice(0..cut))
+            .err()
+            .unwrap_or_else(|| panic!("cut at {cut} accepted"));
+        assert!(
+            matches!(err, GraphError::Decode(_) | GraphError::Invariant(_)),
+            "cut at {cut}: expected Decode/Invariant, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn psrg_lying_header_sizes_are_overflow_errors_without_oom() {
+    // Node count, edge count and arc count sit at bytes 7, 15 and 23.
+    // Planting u64::MAX (or a count far past the buffer) must fail via
+    // checked bounds *before* any proportional `Vec::with_capacity` —
+    // this test would OOM or abort the process otherwise.
+    let template = psrg_fixture().to_vec();
+    for (field_at, what) in [(7usize, "node count"), (15, "edge count"), (23, "arc count")] {
+        for value in [u64::MAX, 1u64 << 33] {
+            let mut lie = template.clone();
+            lie[field_at..field_at + 8].copy_from_slice(&value.to_le_bytes());
+            let err = binary::decode(bytes::Bytes::from(lie))
+                .err()
+                .unwrap_or_else(|| panic!("lying {what} = {value} accepted"));
+            assert!(
+                matches!(
+                    err,
+                    GraphError::Decode(_) | GraphError::Overflow { .. } | GraphError::Invariant(_)
+                ),
+                "{what} = {value}: got {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn psrg_header_field_corruption_is_rejected() {
+    let bytes = psrg_fixture().to_vec();
+    // Magic, version, and a direction flip on a symmetric arc set.
+    for (at, flip) in [(0usize, 0xffu8), (4, 0x08), (6, 0x01)] {
+        let mut bad = bytes.clone();
+        bad[at] ^= flip;
+        assert!(
+            binary::decode(bytes::Bytes::from(bad)).is_err(),
+            "header flip at byte {at} accepted"
+        );
     }
 }

@@ -1,0 +1,174 @@
+//! Vendored stand-in for the `memmap2` crate (offline build).
+//!
+//! Exposes the one thing `psr-graph` needs: a read-only, `Deref<Target =
+//! [u8]>` mapping of an entire file. On Unix this is a real `mmap(2)` private
+//! read-only mapping released via `munmap(2)` on drop; elsewhere
+//! [`Mmap::map`] returns an error and callers fall back to heap reads.
+//!
+//! Divergence from upstream: upstream's `Mmap::map` is an `unsafe fn`
+//! because a file that is truncated or rewritten while mapped can fault or
+//! change underneath the reader. This stand-in exposes a safe function and
+//! instead documents the contract: **the mapped file must not be modified
+//! for the lifetime of the mapping**. Callers in this workspace only map
+//! immutable snapshot files they validate once at open time.
+
+#![deny(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only memory mapping of an entire file.
+///
+/// Dereferences to `&[u8]`. An empty file maps to an empty slice without
+/// touching `mmap(2)` (zero-length mappings are an `EINVAL`).
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY (by construction, not by `unsafe` keyword — this crate is the one
+// workspace member allowed to reason about it): the mapping is PROT_READ /
+// MAP_PRIVATE, never handed out mutably, and freed exactly once in `Drop`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// The file must not be modified while the mapping is alive; see the
+    /// crate docs for the divergence from upstream's `unsafe fn` signature.
+    #[cfg(unix)]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        let len: usize = len
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap { ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(), len: 0 });
+        }
+        // SAFETY: fd is valid for the duration of the call; length is the
+        // current file size; PROT_READ + MAP_PRIVATE cannot alias writable
+        // memory we hand out elsewhere.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr: ptr as *const u8, len })
+    }
+
+    /// Mapping is unsupported off Unix; callers fall back to heap reads.
+    #[cfg(not(unix))]
+    pub fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is only supported on unix in this vendored build",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` is either a live PROT_READ mapping of `len` bytes or
+        // a dangling pointer paired with `len == 0` (valid for empty slices).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            // SAFETY: `ptr`/`len` came from a successful `mmap` and are
+            // unmapped exactly once.
+            unsafe {
+                let _ = sys::munmap(self.ptr as *mut _, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2-standin-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn maps_file_contents() {
+        let path = scratch("contents");
+        let payload = b"hello mapped world".repeat(100);
+        std::fs::File::create(&path).and_then(|mut f| f.write_all(&payload)).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(&map[..], &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn empty_file_maps_to_empty_slice() {
+        let path = scratch("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
