@@ -125,6 +125,17 @@ fn binomial_cdf(k: usize, n: usize, p: f64) -> f64 {
     if p >= 1.0 {
         return if k >= n { 1.0 } else { 0.0 };
     }
+    if k >= n {
+        return 1.0;
+    }
+    if 2 * k > n {
+        // Complement identity P(X ≤ k; n, p) = 1 − P(X' ≤ n−k−1; n, 1−p):
+        // always sum the shorter tail, so the loop below is
+        // O(min(k, n−k)) and intervals at extreme counts (n/n, (n−1)/n at
+        // n = 10^6) stay exact without a million-term sum per bisection
+        // probe.
+        return (1.0 - binomial_cdf(n - k - 1, n, 1.0 - p)).clamp(0.0, 1.0);
+    }
     let (lp, lq) = (p.ln(), (1.0 - p).ln());
     let mut log_terms = Vec::with_capacity(k + 1);
     let mut log_coeff = 0.0; // ln C(n, 0)

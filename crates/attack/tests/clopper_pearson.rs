@@ -1,0 +1,98 @@
+//! Clopper–Pearson endpoints at extreme counts, pinned against the
+//! closed-form Beta quantiles.
+//!
+//! The empirical-ε estimator leans on `clopper_pearson` exactly where the
+//! counts are extreme — a perfect adversary scores `n/n` vs `0/n` — so
+//! the bisection must stay exact at the boundaries, for tiny `n` and for
+//! `n = 10^6` alike (the large-`n` cases exercise the complement-identity
+//! fast path in the binomial CDF: the loop sums the shorter tail).
+//!
+//! At the boundaries the Beta quantiles collapse to closed forms:
+//!
+//! * `k = 0`:     lower = 0,                  upper = 1 − (α/2)^(1/n)
+//! * `k = n`:     lower = (α/2)^(1/n),        upper = 1
+//! * `k = 1`:     lower = 1 − (1 − α/2)^(1/n)
+//! * `k = n − 1`: upper = (1 − α/2)^(1/n)
+
+use psr_attack::clopper_pearson;
+
+const CONFIDENCE: f64 = 0.95;
+const ALPHA2: f64 = (1.0 - CONFIDENCE) / 2.0;
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    let tol = 1e-9 * want.abs().max(1.0);
+    assert!((got - want).abs() <= tol, "{what}: got {got}, want {want}");
+}
+
+#[test]
+fn zero_successes_pins_the_closed_form_upper() {
+    for n in [1usize, 2, 10, 100, 1_000_000] {
+        let (lo, hi) = clopper_pearson(0, n, CONFIDENCE);
+        assert_eq!(lo, 0.0, "0/{n}: lower must be exactly 0");
+        assert_close(hi, 1.0 - ALPHA2.powf(1.0 / n as f64), &format!("0/{n} upper"));
+    }
+}
+
+#[test]
+fn all_successes_pins_the_closed_form_lower() {
+    for n in [1usize, 2, 10, 100, 1_000_000] {
+        let (lo, hi) = clopper_pearson(n, n, CONFIDENCE);
+        assert_eq!(hi, 1.0, "{n}/{n}: upper must be exactly 1");
+        assert_close(lo, ALPHA2.powf(1.0 / n as f64), &format!("{n}/{n} lower"));
+    }
+}
+
+#[test]
+fn single_trial_interval_is_the_textbook_one() {
+    let (lo, hi) = clopper_pearson(0, 1, CONFIDENCE);
+    assert_eq!(lo, 0.0);
+    assert_close(hi, 1.0 - ALPHA2, "0/1 upper");
+    let (lo, hi) = clopper_pearson(1, 1, CONFIDENCE);
+    assert_close(lo, ALPHA2, "1/1 lower");
+    assert_eq!(hi, 1.0);
+}
+
+#[test]
+fn one_off_extremes_pin_their_closed_forms_at_a_million_trials() {
+    let n = 1_000_000usize;
+    // One success: the lower endpoint solves 1 − (1−p)^n = α/2.
+    let (lo, hi) = clopper_pearson(1, n, CONFIDENCE);
+    assert_close(lo, 1.0 - (1.0 - ALPHA2).powf(1.0 / n as f64), "1/n lower");
+    assert!(lo > 0.0 && hi > lo && hi < 1e-4, "1/{n}: implausible interval ({lo}, {hi})");
+    // One failure: the upper endpoint solves p^n = α/2, mirrored.
+    let (lo, hi) = clopper_pearson(n - 1, n, CONFIDENCE);
+    assert_close(hi, (1.0 - ALPHA2).powf(1.0 / n as f64), "(n-1)/n upper");
+    assert!(
+        hi < 1.0 && lo < hi && lo > 1.0 - 1e-4,
+        "{}/{n}: implausible interval ({lo}, {hi})",
+        n - 1
+    );
+}
+
+#[test]
+fn extreme_intervals_mirror_each_other() {
+    // By symmetry, the interval for k successes is the reflection of the
+    // interval for n − k successes.
+    for n in [10usize, 1_000_000] {
+        let (lo0, hi0) = clopper_pearson(0, n, CONFIDENCE);
+        let (lon, hin) = clopper_pearson(n, n, CONFIDENCE);
+        assert_close(lo0, 1.0 - hin, &format!("0/{n} vs {n}/{n} reflection"));
+        assert_close(hi0, 1.0 - lon, &format!("0/{n} vs {n}/{n} reflection"));
+        let (lo1, hi1) = clopper_pearson(1, n, CONFIDENCE);
+        let (lom, him) = clopper_pearson(n - 1, n, CONFIDENCE);
+        assert_close(lo1, 1.0 - him, &format!("1/{n} reflection"));
+        assert_close(hi1, 1.0 - lom, &format!("1/{n} reflection"));
+    }
+}
+
+#[test]
+fn intervals_tighten_with_the_trial_count() {
+    let mut last_width = f64::INFINITY;
+    for n in [1usize, 10, 100, 10_000, 1_000_000] {
+        let (lo, hi) = clopper_pearson(0, n, CONFIDENCE);
+        let width = hi - lo;
+        assert!(width < last_width, "0/{n}: width {width} did not shrink from {last_width}");
+        last_width = width;
+    }
+    assert!(last_width < 4e-6, "0/10^6 interval should be a few parts per million wide");
+}

@@ -1,0 +1,121 @@
+//! Frontier-sweep orchestration cost: the toy plan end to end, in memory
+//! and journalled (fsync per cell), plus the resume path that replays a
+//! complete journal without recomputing anything. The printed comparison
+//! is the headline: replaying a finished sweep must be far cheaper than
+//! recomputing it — resumability is only worth its fsyncs if a restart
+//! skips the work.
+//!
+//! Gauges record the artifact sizes (report and journal bytes, cell
+//! count) so the committed baseline documents what a sweep costs on
+//! disk, not just in time.
+
+#![allow(missing_docs)] // the bench entry point is an undocumented `fn main`
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use psr_frontier::{run_sweep, ExperimentPlan, FrontierReport, SweepOptions};
+
+/// A unique scratch path (no tempfile crate in the offline vendor set).
+fn scratch_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir()
+        .join(format!("psr-bench-frontier-{tag}-{}-{n}.journal", std::process::id()))
+}
+
+fn frontier_sweep(c: &mut Criterion) {
+    let plan = ExperimentPlan::toy();
+
+    // Warm-up + headline: best-of-3 full recompute vs best-of-3 replay of
+    // a complete journal. The replay run must compute zero cells and be
+    // faster — otherwise checkpointing is dead weight.
+    let full = run_sweep(&plan, &SweepOptions::default()).expect("toy sweep");
+    assert!(full.complete && full.computed == full.total);
+    let journal = scratch_path("replay");
+    let seeded =
+        run_sweep(&plan, &SweepOptions { journal: Some(journal.clone()), ..Default::default() })
+            .expect("journalled sweep");
+    assert!(seeded.complete);
+
+    let mut compute_time = Duration::MAX;
+    let mut replay_time = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let run = run_sweep(&plan, &SweepOptions::default()).expect("toy sweep");
+        compute_time = compute_time.min(start.elapsed());
+        assert_eq!(run.results, full.results, "sweeps are deterministic");
+
+        let start = Instant::now();
+        let resumed = run_sweep(
+            &plan,
+            &SweepOptions { journal: Some(journal.clone()), ..Default::default() },
+        )
+        .expect("resumed sweep");
+        replay_time = replay_time.min(start.elapsed());
+        assert_eq!(resumed.computed, 0, "a complete journal must leave nothing to compute");
+        assert_eq!(resumed.resumed, full.total);
+        assert_eq!(resumed.results, full.results, "replay is bit-identical");
+    }
+    println!(
+        "[frontier] toy plan ({} cells): recompute {:.1} ms vs journal replay {:.1} ms \
+         ({:.1}x)",
+        full.total,
+        compute_time.as_secs_f64() * 1e3,
+        replay_time.as_secs_f64() * 1e3,
+        compute_time.as_secs_f64() / replay_time.as_secs_f64(),
+    );
+    assert!(
+        replay_time < compute_time,
+        "replaying a finished sweep ({replay_time:?}) must beat recomputing it \
+         ({compute_time:?})"
+    );
+
+    let report = FrontierReport::assemble(&plan, full.fingerprint, full.results.clone());
+    psr_bench::snapshot::record_gauge("frontier/cells", full.total as f64, "cells");
+    psr_bench::snapshot::record_gauge(
+        "frontier/report_bytes",
+        report.to_json().len() as f64,
+        "bytes",
+    );
+    psr_bench::snapshot::record_gauge(
+        "frontier/journal_bytes",
+        std::fs::metadata(&journal).expect("journal written").len() as f64,
+        "bytes",
+    );
+
+    let mut group = c.benchmark_group("frontier_sweep");
+    group.sample_size(10);
+    group.bench_function("toy_memory", |b| {
+        b.iter(|| run_sweep(&plan, &SweepOptions::default()).expect("toy sweep").results.len());
+    });
+    group.bench_function("toy_journalled", |b| {
+        b.iter(|| {
+            let path = scratch_path("fresh");
+            let run = run_sweep(
+                &plan,
+                &SweepOptions { journal: Some(path.clone()), ..Default::default() },
+            )
+            .expect("journalled sweep");
+            let _ = std::fs::remove_file(&path);
+            run.results.len()
+        });
+    });
+    group.bench_function("journal_replay", |b| {
+        b.iter(|| {
+            run_sweep(&plan, &SweepOptions { journal: Some(journal.clone()), ..Default::default() })
+                .expect("resumed sweep")
+                .resumed
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&journal);
+}
+
+criterion_group!(benches, frontier_sweep);
+
+fn main() {
+    benches();
+    psr_bench::snapshot::write("frontier");
+}

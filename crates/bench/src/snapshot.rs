@@ -57,7 +57,17 @@ static GAUGES: Mutex<Vec<Gauge>> = Mutex::new(Vec::new());
 /// Records a gauge for the next [`write`] call. Unlike timed cases,
 /// gauges are recorded in test mode too, but they are only persisted when
 /// a real run produced timed cases.
+///
+/// Every gauge must carry an explicit, non-empty unit and a finite value:
+/// a unitless number in a committed baseline is unreadable a month later,
+/// so it is a bug at record time, not a style choice.
+///
+/// # Panics
+///
+/// Panics when `unit` is empty or `value` is not finite.
 pub fn record_gauge(id: &str, value: f64, unit: &str) {
+    assert!(!unit.trim().is_empty(), "gauge {id}: unit must be non-empty");
+    assert!(value.is_finite(), "gauge {id}: value {value} must be finite");
     GAUGES.lock().expect("gauge registry poisoned").push(Gauge {
         id: id.to_owned(),
         value,
@@ -163,6 +173,18 @@ mod tests {
     #[test]
     fn repo_root_holds_the_workspace_manifest() {
         assert!(repo_root().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    #[should_panic(expected = "unit must be non-empty")]
+    fn unitless_gauges_are_rejected_at_record_time() {
+        record_gauge("probe/unitless", 1.0, "  ");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn non_finite_gauges_are_rejected_at_record_time() {
+        record_gauge("probe/nan", f64::NAN, "bytes");
     }
 
     #[test]

@@ -16,6 +16,7 @@ struct Snapshot {
     git_sha: String,
     date: String,
     cases: Vec<Case>,
+    gauges: Vec<Gauge>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -24,6 +25,17 @@ struct Case {
     median_ns: f64,
     min_ns: f64,
     max_ns: f64,
+}
+
+/// A point-in-time measurement next to the timed cases. Every snapshot
+/// must carry the array (empty is fine), and every entry must carry an
+/// explicit unit — an unlabelled number in a committed baseline is
+/// unreadable later, so the gate rejects it.
+#[derive(Debug, Deserialize)]
+struct Gauge {
+    id: String,
+    value: f64,
+    unit: String,
 }
 
 fn load(bench: &str) -> Snapshot {
@@ -55,6 +67,14 @@ fn load(bench: &str) -> Snapshot {
             case.min_ns,
             case.median_ns,
             case.max_ns
+        );
+    }
+    for gauge in &snapshot.gauges {
+        assert!(gauge.value.is_finite(), "{}: non-finite gauge value", gauge.id);
+        assert!(
+            !gauge.unit.trim().is_empty(),
+            "{}: unitless gauge (every gauge must name its unit)",
+            gauge.id
         );
     }
     snapshot
@@ -122,23 +142,7 @@ fn daemon_snapshot_covers_every_case_and_stays_near_the_one_shot_path() {
     median(&snapshot, "daemon_ledger/journal_fsync");
 }
 
-/// Newer snapshots carry byte gauges next to the timed cases; the base
-/// [`Snapshot`] loader ignores them, this one requires them.
-#[derive(Debug, Deserialize)]
-struct GaugedSnapshot {
-    bench: String,
-    cases: Vec<Case>,
-    gauges: Vec<Gauge>,
-}
-
-#[derive(Debug, Deserialize)]
-struct Gauge {
-    id: String,
-    value: f64,
-    unit: String,
-}
-
-fn gauge(snapshot: &GaugedSnapshot, id: &str) -> f64 {
+fn gauge(snapshot: &Snapshot, id: &str) -> f64 {
     let gauge = snapshot
         .gauges
         .iter()
@@ -151,30 +155,43 @@ fn gauge(snapshot: &GaugedSnapshot, id: &str) -> f64 {
 
 #[test]
 fn graph_backend_snapshot_covers_every_case_and_keeps_the_wins() {
-    // The timing schema is validated by the shared loader; the gauges by
-    // the gauged one (same file parsed twice, both shapes must hold).
-    let timed = load("graph_backend");
-    let csr = median(&timed, "graph_backend_scan/csr");
-    let warm = median(&timed, "graph_backend_scan/compressed_warm");
-    let cold = median(&timed, "graph_backend_scan/compressed_workspace");
-    median(&timed, "graph_backend_scan/sharded");
-    median(&timed, "graph_backend_open/validate_open");
+    let snapshot = load("graph_backend");
+    let csr = median(&snapshot, "graph_backend_scan/csr");
+    let warm = median(&snapshot, "graph_backend_scan/compressed_warm");
+    let cold = median(&snapshot, "graph_backend_scan/compressed_workspace");
+    median(&snapshot, "graph_backend_scan/sharded");
+    median(&snapshot, "graph_backend_open/validate_open");
     // Mirrors the in-bench gates: steady-state compressed reads must stay
     // cheap, and the committed artifact must prove it.
     assert!(warm <= 3.0 * csr, "committed warm compressed scan {warm} ns vs csr {csr} ns");
     assert!(cold <= 25.0 * csr, "committed workspace decode {cold} ns vs csr {csr} ns");
 
-    let path = psr_bench::snapshot::repo_root().join("BENCH_graph_backend.json");
-    let raw = std::fs::read_to_string(&path).expect("snapshot just loaded");
-    let gauged: GaugedSnapshot = serde_json::from_str(&raw).expect("snapshot just parsed");
-    assert_eq!(gauged.cases.len(), timed.cases.len(), "both parses must see every case");
-    let snapshot_bytes = gauge(&gauged, "graph_backend/snapshot_bytes");
-    let csr_bytes = gauge(&gauged, "graph_backend/csr_resident_bytes");
-    gauge(&gauged, "graph_backend/peak_rss_bytes");
+    let snapshot_bytes = gauge(&snapshot, "graph_backend/snapshot_bytes");
+    let csr_bytes = gauge(&snapshot, "graph_backend/csr_resident_bytes");
+    gauge(&snapshot, "graph_backend/peak_rss_bytes");
     assert!(
         snapshot_bytes < csr_bytes,
         "the compressed snapshot ({snapshot_bytes} B) must beat the resident CSR ({csr_bytes} B)"
     );
+}
+
+#[test]
+fn frontier_snapshot_covers_every_case_and_keeps_the_replay_win() {
+    // Resuming a finished sweep must beat recomputing it — the committed
+    // baseline proves the journal replay path pays for its fsyncs.
+    let snapshot = load("frontier");
+    let memory = median(&snapshot, "frontier_sweep/toy_memory");
+    let journalled = median(&snapshot, "frontier_sweep/toy_journalled");
+    let replay = median(&snapshot, "frontier_sweep/journal_replay");
+    assert!(
+        replay < memory,
+        "committed snapshot has journal replay at {replay} ns, not beating recompute {memory} ns"
+    );
+    assert!(journalled > 0.0);
+    let cells = gauge(&snapshot, "frontier/cells");
+    assert_eq!(cells, 3.0, "the toy plan expands to 3 cells");
+    gauge(&snapshot, "frontier/report_bytes");
+    gauge(&snapshot, "frontier/journal_bytes");
 }
 
 #[test]

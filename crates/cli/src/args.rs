@@ -11,6 +11,8 @@ usage:
   psr serve --requests <path> [serve options]
   psr daemon [daemon options]     always-on serving over generated streams
   psr attack [attack options]     run the edge-inference adversaries
+  psr frontier [frontier options] sweep the privacy-utility frontier from
+                                  a resumable experiment plan
   psr build-snapshot --out <path> [build-snapshot options]
                                   build a compressed PSRZ graph snapshot
 
@@ -101,6 +103,21 @@ attack options (empirical edge- and node-inference adversaries):
   --threads <n>     harness worker threads (default: all cores)
   --json <path>     write the JSON attack report here instead of stdout
 
+frontier options (orchestrated privacy-utility sweep lab):
+  --plan <path>     experiment-plan JSON declaring the sweep grid
+                    (default: the built-in toy plan; see --write-plan)
+  --write-plan <path>  write the built-in toy plan as an editable
+                    template to <path> and exit
+  --out <path>      where frontier.json is written once the sweep is
+                    complete (default frontier.json)
+  --journal <path>  append-only results journal for checkpoint/resume
+                    (default: <out> with a .journal extension)
+  --no-journal      compute in memory without checkpointing (no resume)
+  --max-cells <n>   stop after computing n new cells; the sweep reports
+                    itself incomplete and the same command resumes it
+  --threads <n>     worker threads (default: all cores); any value
+                    produces a byte-identical report
+
 build-snapshot options (out-of-core PSRZ snapshot builder):
   --out <path>      where to write the snapshot (required)
   --input <path>    SNAP edge list to encode (default: generated preset)
@@ -123,6 +140,71 @@ options:
   --trials <u32>   Laplace Monte-Carlo trials (default 1000)
   --threads <n>    worker threads (default: all cores)
   --json <path>    also write the result as JSON";
+
+/// Utility functions every serving/attack surface accepts.
+const UTILITIES: [&str; 2] = ["common-neighbors", "weighted-paths"];
+/// Top-k engines every serving/attack surface accepts.
+const ENGINES: [&str; 2] = ["peel", "gumbel"];
+/// Mechanisms the attack harness (and frontier sweeps) cover.
+const ATTACK_MECHANISMS: [&str; 4] = ["exponential", "laplace", "smoothing", "non-private"];
+/// Generated presets the batch/stream serving surfaces accept.
+const SERVING_PRESETS: [&str; 3] = ["wiki", "twitter", "livejournal"];
+/// Presets the attack harness accepts (karate is the demo graph).
+const ATTACK_PRESETS: [&str; 4] = ["karate", "wiki", "twitter", "livejournal"];
+
+/// Validated `--utility` parse shared by `recommend`, `serve`, `daemon`,
+/// `attack` and `frontier` — one allow-list instead of a copy per
+/// subcommand.
+fn parse_utility(raw: &str) -> Result<String, String> {
+    if !UTILITIES.contains(&raw) {
+        return Err(format!("unknown utility {raw:?}"));
+    }
+    Ok(raw.to_owned())
+}
+
+/// Validated `--engine` parse shared by the same subcommands.
+fn parse_engine(raw: &str) -> Result<String, String> {
+    if !ENGINES.contains(&raw) {
+        return Err(format!("unknown top-k engine {raw:?} (expected peel|gumbel)"));
+    }
+    Ok(raw.to_owned())
+}
+
+/// Validated `--mechanism` parse against a caller-chosen allow-list
+/// (`recommend` serves only exponential/laplace; `attack` and `frontier`
+/// cover the full panel).
+fn parse_mechanism(raw: &str, allowed: &[&str]) -> Result<String, String> {
+    if !allowed.contains(&raw) {
+        return Err(format!("unknown mechanism {raw:?} (expected one of {allowed:?})"));
+    }
+    Ok(raw.to_owned())
+}
+
+/// Validated `--preset` parse against a caller-chosen allow-list.
+fn parse_preset(raw: &str, allowed: &[&str]) -> Result<String, String> {
+    if !allowed.contains(&raw) {
+        return Err(format!("unknown preset {raw:?} (expected one of {allowed:?})"));
+    }
+    Ok(raw.to_owned())
+}
+
+/// Validated `--epsilon` parse: a positive, finite budget.
+fn parse_epsilon(raw: &str) -> Result<f64, String> {
+    let epsilon: f64 = raw.parse().map_err(|e| format!("--epsilon: {e}"))?;
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err("--epsilon must be positive".into());
+    }
+    Ok(epsilon)
+}
+
+/// Validated `--scale` parse: a fraction of the paper-scale dataset.
+fn parse_scale(raw: &str) -> Result<f64, String> {
+    let scale: f64 = raw.parse().map_err(|e| format!("--scale: {e}"))?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    Ok(scale)
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -176,6 +258,80 @@ pub enum Command {
         /// Snapshot-builder options.
         opts: BuildSnapshotOptions,
     },
+    /// `psr frontier …`
+    Frontier {
+        /// Sweep-lab options.
+        opts: FrontierOptions,
+    },
+}
+
+/// Options for the `frontier` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierOptions {
+    /// Experiment-plan JSON path (None = the built-in toy plan).
+    pub plan: Option<String>,
+    /// Where the frontier report is written on completion.
+    pub out: String,
+    /// Results-journal path (None = derived from `out`).
+    pub journal: Option<String>,
+    /// Disable checkpointing entirely.
+    pub no_journal: bool,
+    /// Stop after computing this many new cells.
+    pub max_cells: Option<usize>,
+    /// Worker threads (None = all cores).
+    pub threads: Option<usize>,
+    /// Write the built-in toy plan to this path and exit.
+    pub write_plan: Option<String>,
+}
+
+impl Default for FrontierOptions {
+    fn default() -> Self {
+        FrontierOptions {
+            plan: None,
+            out: "frontier.json".to_owned(),
+            journal: None,
+            no_journal: false,
+            max_cells: None,
+            threads: None,
+            write_plan: None,
+        }
+    }
+}
+
+fn parse_frontier(rest: &[String]) -> Result<FrontierOptions, String> {
+    let mut opts = FrontierOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--plan" => opts.plan = Some(value("--plan")?.clone()),
+            "--out" => opts.out = value("--out")?.clone(),
+            "--journal" => opts.journal = Some(value("--journal")?.clone()),
+            "--no-journal" => opts.no_journal = true,
+            "--max-cells" => {
+                opts.max_cells =
+                    Some(value("--max-cells")?.parse().map_err(|e| format!("--max-cells: {e}"))?);
+                if opts.max_cells == Some(0) {
+                    return Err("--max-cells must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                opts.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--write-plan" => opts.write_plan = Some(value("--write-plan")?.clone()),
+            other => return Err(format!("unknown frontier option {other:?}")),
+        }
+    }
+    if opts.no_journal && opts.journal.is_some() {
+        return Err("--no-journal and --journal are mutually exclusive".into());
+    }
+    if opts.no_journal && opts.max_cells.is_some() {
+        return Err("--max-cells needs a journal to resume from (drop --no-journal)".into());
+    }
+    Ok(opts)
 }
 
 /// Options for the `build-snapshot` subcommand.
@@ -228,18 +384,8 @@ fn parse_build_snapshot(rest: &[String]) -> Result<BuildSnapshotOptions, String>
             "--out" => opts.out = value("--out")?.clone(),
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
-            "--preset" => {
-                opts.preset = value("--preset")?.clone();
-                if !["wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
-                    return Err(format!("unknown preset {:?}", opts.preset));
-                }
-            }
-            "--scale" => {
-                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
-                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
+            "--preset" => opts.preset = parse_preset(value("--preset")?, &SERVING_PRESETS)?,
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--shards" => {
                 opts.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
@@ -381,54 +527,25 @@ fn parse_daemon(rest: &[String]) -> Result<DaemonOptions, String> {
         match flag.as_str() {
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
-            "--preset" => {
-                opts.preset = value("--preset")?.clone();
-                if !["wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
-                    return Err(format!("unknown preset {:?}", opts.preset));
-                }
-            }
+            "--preset" => opts.preset = parse_preset(value("--preset")?, &SERVING_PRESETS)?,
             "--backend" => {
                 opts.backend = value("--backend")?.clone();
                 backend_explicit = true;
             }
             "--snapshot" => opts.snapshot = Some(value("--snapshot")?.clone()),
-            "--scale" => {
-                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
-                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
-            "--utility" => {
-                opts.utility = value("--utility")?.clone();
-                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
-                    return Err(format!("unknown utility {:?}", opts.utility));
-                }
-            }
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
+            "--utility" => opts.utility = parse_utility(value("--utility")?)?,
             "--gamma" => {
                 opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
             }
-            "--epsilon" => {
-                opts.epsilon =
-                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
-                if opts.epsilon <= 0.0 {
-                    return Err("--epsilon must be positive".into());
-                }
-            }
+            "--epsilon" => opts.epsilon = parse_epsilon(value("--epsilon")?)?,
             "--budget" => {
                 opts.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
                 if !(opts.budget > 0.0 && opts.budget.is_finite()) {
                     return Err("--budget must be positive and finite".into());
                 }
             }
-            "--engine" => {
-                opts.engine = value("--engine")?.clone();
-                if !["peel", "gumbel"].contains(&opts.engine.as_str()) {
-                    return Err(format!(
-                        "unknown top-k engine {:?} (expected peel|gumbel)",
-                        opts.engine
-                    ));
-                }
-            }
+            "--engine" => opts.engine = parse_engine(value("--engine")?)?,
             "--request-events" => {
                 opts.request_events = value("--request-events")?
                     .parse()
@@ -600,56 +717,22 @@ fn parse_attack(rest: &[String]) -> Result<AttackOptions, String> {
         match flag.as_str() {
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
-            "--preset" => {
-                opts.preset = value("--preset")?.clone();
-                if !["karate", "wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
-                    return Err(format!("unknown attack preset {:?}", opts.preset));
-                }
-            }
+            "--preset" => opts.preset = parse_preset(value("--preset")?, &ATTACK_PRESETS)?,
             "--backend" => {
                 opts.backend = value("--backend")?.clone();
                 backend_explicit = true;
             }
             "--snapshot" => opts.snapshot = Some(value("--snapshot")?.clone()),
-            "--scale" => {
-                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
-                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
-            "--utility" => {
-                opts.utility = value("--utility")?.clone();
-                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
-                    return Err(format!("unknown utility {:?}", opts.utility));
-                }
-            }
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
+            "--utility" => opts.utility = parse_utility(value("--utility")?)?,
             "--gamma" => {
                 opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
             }
-            "--engine" => {
-                opts.engine = value("--engine")?.clone();
-                if !["peel", "gumbel"].contains(&opts.engine.as_str()) {
-                    return Err(format!(
-                        "unknown top-k engine {:?} (expected peel|gumbel)",
-                        opts.engine
-                    ));
-                }
-            }
+            "--engine" => opts.engine = parse_engine(value("--engine")?)?,
             "--mechanism" => {
-                opts.mechanism = value("--mechanism")?.clone();
-                if !["exponential", "laplace", "smoothing", "non-private"]
-                    .contains(&opts.mechanism.as_str())
-                {
-                    return Err(format!("unknown attack mechanism {:?}", opts.mechanism));
-                }
+                opts.mechanism = parse_mechanism(value("--mechanism")?, &ATTACK_MECHANISMS)?
             }
-            "--epsilon" => {
-                opts.epsilon =
-                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
-                if opts.epsilon <= 0.0 {
-                    return Err("--epsilon must be positive".into());
-                }
-            }
+            "--epsilon" => opts.epsilon = parse_epsilon(value("--epsilon")?)?,
             "--smoothing-x" => {
                 opts.smoothing_x =
                     value("--smoothing-x")?.parse().map_err(|e| format!("--smoothing-x: {e}"))?;
@@ -846,54 +929,25 @@ fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
             "--mutations" => opts.mutations = Some(value("--mutations")?.clone()),
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
-            "--preset" => {
-                opts.preset = value("--preset")?.clone();
-                if !["wiki", "twitter", "livejournal"].contains(&opts.preset.as_str()) {
-                    return Err(format!("unknown preset {:?}", opts.preset));
-                }
-            }
+            "--preset" => opts.preset = parse_preset(value("--preset")?, &SERVING_PRESETS)?,
             "--backend" => {
                 opts.backend = value("--backend")?.clone();
                 backend_explicit = true;
             }
             "--snapshot" => opts.snapshot = Some(value("--snapshot")?.clone()),
-            "--scale" => {
-                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
-                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
-            "--utility" => {
-                opts.utility = value("--utility")?.clone();
-                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
-                    return Err(format!("unknown utility {:?}", opts.utility));
-                }
-            }
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
+            "--utility" => opts.utility = parse_utility(value("--utility")?)?,
             "--gamma" => {
                 opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
             }
-            "--epsilon" => {
-                opts.epsilon =
-                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
-                if opts.epsilon <= 0.0 {
-                    return Err("--epsilon must be positive".into());
-                }
-            }
+            "--epsilon" => opts.epsilon = parse_epsilon(value("--epsilon")?)?,
             "--budget" => {
                 opts.budget = value("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
                 if !(opts.budget > 0.0 && opts.budget.is_finite()) {
                     return Err("--budget must be positive and finite".into());
                 }
             }
-            "--engine" => {
-                opts.engine = value("--engine")?.clone();
-                if !["peel", "gumbel"].contains(&opts.engine.as_str()) {
-                    return Err(format!(
-                        "unknown top-k engine {:?} (expected peel|gumbel)",
-                        opts.engine
-                    ));
-                }
-            }
+            "--engine" => opts.engine = parse_engine(value("--engine")?)?,
             "--threads" => {
                 opts.threads =
                     Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
@@ -970,40 +1024,17 @@ fn parse_recommend(rest: &[String]) -> Result<RecommendOptions, String> {
             }
             "--input" => opts.input = Some(value("--input")?.clone()),
             "--directed" => opts.directed = true,
-            "--preset" => {
-                opts.preset = value("--preset")?.clone();
-                if !["wiki", "twitter"].contains(&opts.preset.as_str()) {
-                    return Err(format!("unknown preset {:?}", opts.preset));
-                }
-            }
-            "--scale" => {
-                opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?;
-                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
-            "--utility" => {
-                opts.utility = value("--utility")?.clone();
-                if !["common-neighbors", "weighted-paths"].contains(&opts.utility.as_str()) {
-                    return Err(format!("unknown utility {:?}", opts.utility));
-                }
-            }
+            "--preset" => opts.preset = parse_preset(value("--preset")?, &["wiki", "twitter"])?,
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
+            "--utility" => opts.utility = parse_utility(value("--utility")?)?,
             "--gamma" => {
                 opts.gamma = value("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
             }
             "--mechanism" => {
-                opts.mechanism = value("--mechanism")?.clone();
-                if !["exponential", "laplace"].contains(&opts.mechanism.as_str()) {
-                    return Err(format!("unknown mechanism {:?}", opts.mechanism));
-                }
+                opts.mechanism =
+                    parse_mechanism(value("--mechanism")?, &["exponential", "laplace"])?
             }
-            "--epsilon" => {
-                opts.epsilon =
-                    value("--epsilon")?.parse().map_err(|e| format!("--epsilon: {e}"))?;
-                if opts.epsilon <= 0.0 {
-                    return Err("--epsilon must be positive".into());
-                }
-            }
+            "--epsilon" => opts.epsilon = parse_epsilon(value("--epsilon")?)?,
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             other => return Err(format!("unknown recommend option {other:?}")),
         }
@@ -1066,6 +1097,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "serve" => Ok(Command::Serve { opts: parse_serve(it.as_slice())? }),
         "attack" => Ok(Command::Attack { opts: parse_attack(it.as_slice())? }),
         "daemon" => Ok(Command::Daemon { opts: parse_daemon(it.as_slice())? }),
+        "frontier" => Ok(Command::Frontier { opts: parse_frontier(it.as_slice())? }),
         "build-snapshot" => {
             Ok(Command::BuildSnapshot { opts: parse_build_snapshot(it.as_slice())? })
         }
@@ -1088,13 +1120,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             it.next().ok_or(format!("{name} expects a value"))
         };
         match flag.as_str() {
-            "--scale" => {
-                opts.scale =
-                    value("--scale")?.parse::<f64>().map_err(|e| format!("--scale: {e}"))?;
-                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
+            "--scale" => opts.scale = parse_scale(value("--scale")?)?,
             "--seed" => {
                 opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
@@ -1503,6 +1529,66 @@ mod tests {
                 assert_eq!(opts.snapshot, None);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_frontier() {
+        let cmd = parse(&argv(
+            "frontier --plan plan.json --out f.json --journal f.journal \
+             --max-cells 2 --threads 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Frontier { opts } => {
+                assert_eq!(opts.plan.as_deref(), Some("plan.json"));
+                assert_eq!(opts.out, "f.json");
+                assert_eq!(opts.journal.as_deref(), Some("f.journal"));
+                assert_eq!(opts.max_cells, Some(2));
+                assert_eq!(opts.threads, Some(3));
+                assert!(!opts.no_journal);
+                assert_eq!(opts.write_plan, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_defaults_and_validation() {
+        let cmd = parse(&argv("frontier")).unwrap();
+        match cmd {
+            Command::Frontier { opts } => {
+                assert_eq!(opts, FrontierOptions::default());
+                assert_eq!(opts.out, "frontier.json");
+                assert_eq!(opts.plan, None);
+                assert_eq!(opts.journal, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("frontier --write-plan plan.json")).unwrap() {
+            Command::Frontier { opts } => {
+                assert_eq!(opts.write_plan.as_deref(), Some("plan.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("frontier --max-cells 0")).is_err());
+        assert!(parse(&argv("frontier --no-journal --journal j")).is_err());
+        assert!(parse(&argv("frontier --no-journal --max-cells 1")).is_err());
+        assert!(parse(&argv("frontier --plan")).is_err());
+        assert!(parse(&argv("frontier --bogus")).is_err());
+    }
+
+    #[test]
+    fn shared_axis_parsers_reject_consistently() {
+        // The same allow-lists guard every subcommand that takes the axis.
+        for cmd in ["recommend --target 1", "serve --requests r.json", "daemon", "attack"] {
+            assert!(parse(&argv(&format!("{cmd} --utility nope"))).is_err(), "{cmd}");
+            assert!(parse(&argv(&format!("{cmd} --epsilon 0"))).is_err(), "{cmd}");
+            assert!(parse(&argv(&format!("{cmd} --epsilon inf"))).is_err(), "{cmd}");
+            assert!(parse(&argv(&format!("{cmd} --scale 2"))).is_err(), "{cmd}");
+        }
+        for cmd in ["serve --requests r.json", "daemon", "attack"] {
+            assert!(parse(&argv(&format!("{cmd} --engine bogus"))).is_err(), "{cmd}");
         }
     }
 

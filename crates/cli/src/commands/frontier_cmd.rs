@@ -1,0 +1,86 @@
+//! `psr frontier` — the orchestrated privacy–utility sweep lab.
+//!
+//! Loads (or defaults) an experiment plan, runs or resumes the sweep it
+//! declares through `psr-frontier`, and — once every cell is measured —
+//! writes the single machine-readable `frontier.json` report next to a
+//! human-readable summary on stdout. Incomplete invocations (a kill, or
+//! an explicit `--max-cells` budget) say how far they got; re-running
+//! the same command resumes from the results journal instead of
+//! recomputing anything.
+
+use std::path::{Path, PathBuf};
+
+use psr_frontier::{run_sweep, ExperimentPlan, FrontierReport, SweepOptions};
+
+use crate::args::FrontierOptions;
+
+/// Entry point for `psr frontier`.
+pub fn run(opts: &FrontierOptions) {
+    if let Some(path) = &opts.write_plan {
+        let template = ExperimentPlan::toy().to_json() + "\n";
+        if let Err(e) = std::fs::write(path, template) {
+            eprintln!("error: writing plan template {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("template plan written to {path}; edit it and run psr frontier --plan {path}");
+        return;
+    }
+
+    let plan = match &opts.plan {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: reading plan {path}: {e}");
+                std::process::exit(1);
+            });
+            ExperimentPlan::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("error: plan {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => ExperimentPlan::toy(),
+    };
+
+    // The journal defaults to living next to the report, so the bare
+    // command is already kill-safe and resumable.
+    let journal: Option<PathBuf> = if opts.no_journal {
+        None
+    } else {
+        Some(
+            opts.journal
+                .as_ref()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| Path::new(&opts.out).with_extension("journal")),
+        )
+    };
+    let sweep =
+        SweepOptions { threads: opts.threads, journal: journal.clone(), max_cells: opts.max_cells };
+    let outcome = run_sweep(&plan, &sweep).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    if !outcome.complete {
+        let measured = outcome.results.len();
+        println!(
+            "frontier '{}': {measured}/{} cells measured ({} computed now, {} resumed); \
+             run the same command again to resume from {}",
+            plan.name,
+            outcome.total,
+            outcome.computed,
+            outcome.resumed,
+            journal.as_deref().map_or_else(|| "scratch".to_owned(), |p| p.display().to_string()),
+        );
+        return;
+    }
+
+    let report = FrontierReport::assemble(&plan, outcome.fingerprint, outcome.results);
+    if let Err(e) = std::fs::write(&opts.out, report.to_json() + "\n") {
+        eprintln!("error: writing report {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    print!("{}", report.render_text());
+    println!(
+        "report written to {} ({} cells computed now, {} resumed from the journal)",
+        opts.out, outcome.computed, outcome.resumed
+    );
+}

@@ -7,6 +7,7 @@ mod claims_cmd;
 mod daemon_cmd;
 mod dataset_cmd;
 mod figure_cmd;
+mod frontier_cmd;
 mod recommend_cmd;
 mod serve_cmd;
 
@@ -30,6 +31,7 @@ pub fn run(cmd: Command) {
         Command::Attack { opts } => attack_cmd::run(&opts),
         Command::Daemon { opts } => daemon_cmd::run(&opts),
         Command::BuildSnapshot { opts } => build_snapshot_cmd::run(&opts),
+        Command::Frontier { opts } => frontier_cmd::run(&opts),
     }
 }
 

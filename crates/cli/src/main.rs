@@ -13,6 +13,8 @@
 //! psr attack [--preset karate|wiki|twitter] [--mechanism M] [--epsilon E]
 //!            [--adversary A] [--edge u,v] [--epoch static|insert|delete]
 //!            [--json PATH]
+//! psr frontier [--plan plan.json] [--out frontier.json] [--max-cells N]
+//!              [--threads N]
 //! ```
 //!
 //! `serve` reads a JSON array of `{"target": N, "k": M}` requests, answers
@@ -23,6 +25,11 @@
 //! against the chosen mechanism and emits a JSON report of per-adversary
 //! ROC curves, advantage, and empirical-ε estimates overlaid on the
 //! Lemma-1/Corollary-1/Theorem-5 bounds.
+//!
+//! `frontier` orchestrates a whole grid of those probes from a declarative
+//! experiment plan (`psr-frontier`), checkpoints every finished cell to a
+//! results journal so a killed sweep resumes where it stopped, and emits a
+//! single machine-readable frontier report.
 
 mod args;
 mod commands;

@@ -42,6 +42,7 @@ use std::path::{Path, PathBuf};
 use psr_graph::NodeId;
 
 use super::budget::{BudgetAccountant, BudgetExceeded};
+use super::journal::{lossy_utf8_prefix, seal, unseal, LineSplitter};
 
 /// Per-target ε spend tracking with explicit durability points. See the
 /// [module docs](self) for the contract; [`BudgetAccountant`] is the
@@ -103,32 +104,6 @@ impl BudgetLedger for BudgetAccountant {
 /// Magic + version prefix of the journal header line.
 const HEADER_TAG: &str = "psrledger v1";
 
-/// FNV-1a 64-bit, the checksum guarding every journal line. Not
-/// cryptographic — it detects torn writes and bit rot, which is all a
-/// single-writer journal needs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Formats a journal line: payload plus its checksum, newline-terminated.
-fn seal(payload: &str) -> String {
-    format!("{payload} {:016x}\n", fnv1a64(payload.as_bytes()))
-}
-
-/// Splits a newline-terminated line into payload and checksum and
-/// verifies the seal. `None` for torn or corrupt lines.
-fn unseal(line: &str) -> Option<&str> {
-    let body = line.strip_suffix('\n')?;
-    let (payload, crc) = body.rsplit_once(' ')?;
-    let crc = (crc.len() == 16).then(|| u64::from_str_radix(crc, 16).ok()).flatten()?;
-    (crc == fnv1a64(payload.as_bytes())).then_some(payload)
-}
-
 /// One replayed charge, parsed from a valid journal line.
 fn parse_charge(payload: &str) -> Option<(NodeId, f64)> {
     let rest = payload.strip_prefix("C ")?;
@@ -167,20 +142,9 @@ impl JournalLedger {
         let mut accountant = BudgetAccountant::new(budget_per_target);
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
-        let mut content = String::new();
-        // Journals are single-writer text we wrote ourselves; a non-UTF8
-        // file reads as corrupt from its first bad byte. Read bytes and
-        // take the longest UTF-8 prefix rather than failing outright.
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        match String::from_utf8(bytes) {
-            Ok(text) => content = text,
-            Err(err) => {
-                let valid = err.utf8_error().valid_up_to();
-                let bytes = err.into_bytes();
-                content.push_str(std::str::from_utf8(&bytes[..valid]).expect("checked prefix"));
-            }
-        }
+        let content = lossy_utf8_prefix(bytes);
 
         let header = seal(&format!("{HEADER_TAG} {:016x}", budget_per_target.to_bits()));
         let mut valid_len = 0usize;
@@ -238,49 +202,6 @@ fn corrupt_header(path: &Path) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("budget journal {} has a malformed header", path.display()),
     )
-}
-
-/// Iterates newline-terminated lines (terminator included) while
-/// tracking how many bytes the *previous* items covered — exactly what
-/// valid-prefix truncation needs. A trailing fragment without `\n` is
-/// yielded too (it will fail `unseal`) but never counted as consumed.
-struct LineSplitter<'a> {
-    text: &'a str,
-    offset: usize,
-    consumed: usize,
-}
-
-impl<'a> LineSplitter<'a> {
-    fn new(text: &'a str) -> Self {
-        LineSplitter { text, offset: 0, consumed: 0 }
-    }
-
-    /// Bytes covered by all fully-consumed (newline-terminated) lines
-    /// yielded so far.
-    fn consumed_before_current(&self) -> usize {
-        self.consumed
-    }
-}
-
-impl<'a> Iterator for LineSplitter<'a> {
-    type Item = &'a str;
-
-    fn next(&mut self) -> Option<&'a str> {
-        if self.offset >= self.text.len() {
-            return None;
-        }
-        self.consumed = self.offset;
-        let rest = &self.text[self.offset..];
-        let line = match rest.find('\n') {
-            Some(pos) => &rest[..=pos],
-            None => rest,
-        };
-        self.offset += line.len();
-        if line.ends_with('\n') {
-            self.consumed = self.offset;
-        }
-        Some(line)
-    }
 }
 
 impl BudgetLedger for JournalLedger {

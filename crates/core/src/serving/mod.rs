@@ -61,6 +61,7 @@
 mod budget;
 pub mod daemon;
 mod epoch;
+pub mod journal;
 mod ledger;
 
 pub use budget::{BudgetAccountant, BudgetExceeded};

@@ -1,0 +1,478 @@
+//! One grid cell: its spec, its execution, its measured result.
+//!
+//! A cell is the atom of a sweep — one (dataset, utility, adjacency,
+//! mechanism, ε, engine) combination, executed as a full two-world
+//! attack scenario through the real serving stack. [`run_cell`] measures
+//! three things side by side, which is the whole point of the frontier:
+//!
+//! * **theory** — the Corollary-1 accuracy ceiling at the cell's ε, the
+//!   Lemma-1 advantage ceiling at the transcript budget, and (for node
+//!   adjacency) Appendix A's ε floors;
+//! * **achieved accuracy** — the mean measured accuracy of the served
+//!   transcripts plus a Clopper–Pearson interval on the exact-hit rate
+//!   (observations whose slots are drawn entirely from the optimal
+//!   top-`k`);
+//! * **empirical privacy** — each adversary's advantage, AUC and
+//!   empirical-ε estimate, with Clopper–Pearson intervals on the
+//!   best-threshold TPR/FPR.
+//!
+//! Every floating-point field of a [`CellResult`] is finite or an
+//! explicit `Option` (`None` where the theory gives ∞ or nothing):
+//! results must survive a JSON round trip bit-identically, and the
+//! vendored serializer maps non-finite values to `null`.
+
+use std::sync::Arc;
+
+use psr_attack::{
+    clopper_pearson, default_observers, default_secret_edge, leaking_node_rewire,
+    leaking_secret_edge, Adversary, AttackMechanism, AttackResult, BoundsComparison,
+    EdgeInferenceScenario, EpochStyle, FrequencyBaseline, LikelihoodRatioMia, NodeEpochStyle,
+    NodeIdentityScenario, NodeScenarioConfig, ReconstructionAdversary, ScenarioConfig,
+    TranscriptSet, WorldModel,
+};
+use psr_gen::split_seed;
+use psr_graph::Graph;
+use psr_privacy::TopKEngine;
+use psr_utility::{CommonNeighbors, UtilityFunction, UtilityVector, WeightedPaths};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::ExperimentPlan;
+
+/// Scan budget for the leaking secret-edge / node-rewire search, shared
+/// with `psr attack`'s default.
+const SEARCH_BUDGET: usize = 4_000;
+
+/// Seed-stream tag for per-cell derivation (`split_seed(plan.seed, TAG ^
+/// index)`): cells draw independent, index-stable streams no matter
+/// which worker executes them.
+const CELL_SEED_TAG: u64 = 0xF407_0000;
+
+/// One point of the grid. The `index` is the cell's identity everywhere:
+/// journal records, seed streams, report ordering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Position in the plan's expansion order.
+    pub index: usize,
+    /// Index into the plan's `datasets` axis.
+    pub dataset: usize,
+    /// Utility function name.
+    pub utility: String,
+    /// `edge` or `node`.
+    pub adjacency: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Per-observation ε (`None` for mechanisms without an ε parameter).
+    pub epsilon: Option<f64>,
+    /// Top-`k` engine name.
+    pub engine: String,
+}
+
+/// A closed Clopper–Pearson interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lower: f64,
+    /// Upper endpoint.
+    pub upper: f64,
+}
+
+/// One adversary's measurement inside a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryCell {
+    /// Adversary name.
+    pub adversary: String,
+    /// Best-threshold advantage `|TPR − FPR|`.
+    pub advantage: f64,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// Best-threshold true-positive rate, with its Clopper–Pearson
+    /// interval.
+    pub tpr: f64,
+    /// Clopper–Pearson interval on `tpr`.
+    pub tpr_interval: Interval,
+    /// Best-threshold false-positive rate.
+    pub fpr: f64,
+    /// Clopper–Pearson interval on `fpr`.
+    pub fpr_interval: Interval,
+    /// Empirical-ε point estimate.
+    pub empirical_epsilon: f64,
+    /// Clopper–Pearson-conservative empirical-ε lower bound.
+    pub empirical_epsilon_lower: f64,
+    /// Smallest ε consistent with the measured advantage (`None` when the
+    /// advantage pins ε to ∞, i.e. a perfect separator).
+    pub epsilon_floor: Option<f64>,
+    /// Whether the measurement is consistent with the configured budget.
+    pub consistent: bool,
+}
+
+/// A fully-measured cell: spec echo, theory overlay, achieved accuracy
+/// and every adversary's empirical result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell this result answers.
+    pub spec: CellSpec,
+    /// Human-readable dataset label (preset name or file path).
+    pub dataset: String,
+    /// Composed transcript-level ε budget (`None` for non-private).
+    pub transcript_epsilon: Option<f64>,
+    /// Node-level transcript budget by group privacy (node adjacency
+    /// only).
+    pub node_transcript_epsilon: Option<f64>,
+    /// Corollary-1 accuracy ceiling at the cell's per-observation ε and
+    /// the adjacency's edit distance (1.0 when the theory is vacuous:
+    /// non-private, smoothing, or an all-zero utility vector).
+    pub accuracy_bound: f64,
+    /// Lemma-1 advantage ceiling at the transcript budget.
+    pub advantage_ceiling: f64,
+    /// Appendix A's finite-`n` node-privacy ε floor (node adjacency only).
+    pub node_epsilon_lower: Option<f64>,
+    /// Appendix A's asymptotic `ln(n)/2` floor (node adjacency only).
+    pub node_epsilon_lower_asymptotic: Option<f64>,
+    /// Mean measured accuracy over all scorable world-1 observations
+    /// (`None` when no observer had a scorable utility vector).
+    pub mean_accuracy: Option<f64>,
+    /// Observations whose measured accuracy was exactly 1 (all slots from
+    /// the optimal top-`k`).
+    pub exact_hits: usize,
+    /// Scorable observations (the denominator of the hit rate).
+    pub scored_entries: usize,
+    /// Clopper–Pearson interval on the exact-hit rate (`None` when
+    /// nothing was scorable).
+    pub accuracy_interval: Option<Interval>,
+    /// Per-adversary empirical measurements.
+    pub adversaries: Vec<AdversaryCell>,
+}
+
+/// Maps a possibly-infinite theory value to a serialisable `Option`.
+fn finite(x: f64) -> Option<f64> {
+    x.is_finite().then_some(x)
+}
+
+fn parse_utility(plan: &ExperimentPlan, spec: &CellSpec) -> Box<dyn UtilityFunction> {
+    match spec.utility.as_str() {
+        "common-neighbors" => Box::new(CommonNeighbors),
+        "weighted-paths" => Box::new(WeightedPaths::paper(plan.gamma)),
+        other => unreachable!("validated plans admit only known utilities, got {other}"),
+    }
+}
+
+fn parse_engine(spec: &CellSpec) -> TopKEngine {
+    spec.engine
+        .parse()
+        .unwrap_or_else(|e| unreachable!("validated plans admit only known engines: {e}"))
+}
+
+fn parse_mechanism(plan: &ExperimentPlan, spec: &CellSpec) -> AttackMechanism {
+    match (spec.mechanism.as_str(), spec.epsilon) {
+        ("exponential", Some(epsilon)) => AttackMechanism::Exponential { epsilon },
+        ("laplace", Some(epsilon)) => AttackMechanism::Laplace { epsilon },
+        ("smoothing", None) => AttackMechanism::Smoothing { x: plan.smoothing_x },
+        ("non-private", None) => AttackMechanism::NonPrivateTopK,
+        (other, eps) => unreachable!("expansion produced ({other}, {eps:?})"),
+    }
+}
+
+/// The Corollary-1 accuracy ceiling for one observation of this cell:
+/// evaluated at the per-observation ε and the adjacency's edit distance
+/// (t = 1 for edge worlds, t = 2 for a node rewire's bound form). 1.0
+/// (vacuous) when the mechanism has no ε or the representative utility
+/// vector is all-zero.
+fn accuracy_ceiling(spec: &CellSpec, representative: &UtilityVector) -> f64 {
+    let Some(epsilon) = spec.epsilon else { return 1.0 };
+    if representative.is_all_zero() {
+        return 1.0;
+    }
+    let t = if spec.adjacency == "node" { psr_bounds::edit_distance::t_node_privacy() } else { 1 };
+    psr_bounds::best_accuracy_bound(representative, epsilon, t, None).accuracy_bound
+}
+
+/// Counts exact hits among the scorable world-1 observations: entries
+/// whose measured accuracy is exactly 1 under the world-1 model. The
+/// binary event behind the accuracy error bars ([`clopper_pearson`] needs
+/// a Bernoulli count; the fractional mean has no binomial interval).
+fn exact_hits(world1_model: &WorldModel, set: &TranscriptSet) -> (usize, usize) {
+    let mut hits = 0usize;
+    let mut scored = 0usize;
+    for t in &set.world1 {
+        for (i, obs) in t.entries.iter().enumerate() {
+            if let Some(acc) = world1_model.model_for(i).accuracy_of(&obs.recommendations) {
+                scored += 1;
+                if acc >= 1.0 {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    (hits, scored)
+}
+
+/// Clopper–Pearson interval on a best-threshold rate: the rate is
+/// `successes / trials` with `successes` recovered exactly (rates are
+/// ratios of small integers).
+fn rate_interval(rate: f64, trials: usize, confidence: f64) -> Interval {
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let successes = (rate * trials as f64).round() as usize;
+    let (lower, upper) = clopper_pearson(successes.min(trials), trials, confidence);
+    Interval { lower, upper }
+}
+
+/// Folds one [`AttackResult`] + [`BoundsComparison`] pair into the cell's
+/// per-adversary record.
+fn adversary_cell(
+    result: &AttackResult,
+    comparison: &BoundsComparison,
+    trials: usize,
+    confidence: f64,
+) -> AdversaryCell {
+    AdversaryCell {
+        adversary: result.adversary.clone(),
+        advantage: result.advantage.advantage,
+        auc: result.auc,
+        tpr: result.advantage.tpr,
+        tpr_interval: rate_interval(result.advantage.tpr, trials, confidence),
+        fpr: result.advantage.fpr,
+        fpr_interval: rate_interval(result.advantage.fpr, trials, confidence),
+        empirical_epsilon: result.empirical_epsilon.point,
+        empirical_epsilon_lower: result.empirical_epsilon.lower,
+        epsilon_floor: finite(comparison.epsilon_floor),
+        consistent: comparison.consistent,
+    }
+}
+
+/// Executes one cell against its (already loaded) graph. Deterministic
+/// in `(plan, spec)` alone: the scenario runs single-threaded on a seed
+/// stream split from the plan seed and the cell index, so results do not
+/// depend on which worker runs the cell or how many workers exist.
+pub fn run_cell(
+    plan: &ExperimentPlan,
+    spec: &CellSpec,
+    graph: &Arc<Graph>,
+) -> Result<CellResult, String> {
+    let dataset = plan.datasets[spec.dataset].label();
+    let seed = split_seed(plan.seed, CELL_SEED_TAG ^ spec.index as u64);
+    let utility = parse_utility(plan, spec);
+    let mechanism = parse_mechanism(plan, spec);
+    let engine = parse_engine(spec);
+
+    match spec.adjacency.as_str() {
+        "edge" => {
+            let (secret, observers) =
+                leaking_secret_edge(graph, utility.as_ref(), plan.observer_cap, SEARCH_BUDGET)
+                    .or_else(|| {
+                        let secret = default_secret_edge(graph)?;
+                        let observers = default_observers(graph, secret, plan.observer_cap);
+                        (!observers.is_empty()).then_some((secret, observers))
+                    })
+                    .ok_or_else(|| {
+                        format!("cell {}: no suitable secret edge on {dataset}", spec.index)
+                    })?;
+            let config = ScenarioConfig {
+                rounds: plan.rounds,
+                k: plan.k,
+                trials_per_world: plan.trials_per_world,
+                mechanism,
+                engine,
+                epochs: EpochStyle::Static,
+                threads: Some(1),
+                seed,
+                confidence: plan.confidence,
+                ..ScenarioConfig::new(secret, observers)
+            };
+            let scenario = EdgeInferenceScenario::new(Arc::clone(graph), utility, config);
+            let set = scenario.collect();
+            let (hits, scored) = exact_hits(scenario.world_models().1, &set);
+            let probe = scenario.probe();
+            let evaluated = evaluate_adversaries(probe, seed, |adv| {
+                let result = scenario.attack(&set, adv);
+                let comparison = scenario.compare(&result);
+                (result, comparison)
+            });
+            Ok(assemble(
+                spec,
+                dataset,
+                scenario.transcript_epsilon(),
+                None,
+                accuracy_ceiling(spec, scenario.representative_utilities()),
+                hits,
+                scored,
+                plan,
+                evaluated,
+            ))
+        }
+        "node" => {
+            let (node, new_neighbours, observers) =
+                leaking_node_rewire(graph, utility.as_ref(), plan.observer_cap, SEARCH_BUDGET)
+                    .ok_or_else(|| {
+                        format!("cell {}: no leaking node rewire on {dataset}", spec.index)
+                    })?;
+            let config = NodeScenarioConfig {
+                rounds: plan.rounds,
+                k: plan.k,
+                trials_per_world: plan.trials_per_world,
+                mechanism,
+                engine,
+                epochs: NodeEpochStyle::Static,
+                threads: Some(1),
+                seed,
+                confidence: plan.confidence,
+                ..NodeScenarioConfig::new(node, new_neighbours, observers)
+            };
+            let scenario = NodeIdentityScenario::new(Arc::clone(graph), utility, config);
+            let set = scenario.collect();
+            let (hits, scored) = exact_hits(scenario.world_models().1, &set);
+            let probe = scenario.probe();
+            let evaluated = evaluate_adversaries(probe, seed, |adv| {
+                let result = scenario.attack(&set, adv);
+                let comparison = scenario.compare(&result);
+                (result, comparison)
+            });
+            Ok(assemble(
+                spec,
+                dataset,
+                scenario.transcript_epsilon(),
+                scenario.node_transcript_epsilon(),
+                accuracy_ceiling(spec, scenario.representative_utilities()),
+                hits,
+                scored,
+                plan,
+                evaluated,
+            ))
+        }
+        other => unreachable!("validated plans admit only known adjacencies, got {other}"),
+    }
+}
+
+/// Runs the full adversary panel through an `attack`+`compare` closure.
+fn evaluate_adversaries(
+    probe: psr_graph::NodeId,
+    seed: u64,
+    mut evaluate: impl FnMut(&dyn Adversary) -> (AttackResult, BoundsComparison),
+) -> Vec<(AttackResult, BoundsComparison)> {
+    let reconstruction = ReconstructionAdversary;
+    let mia = LikelihoodRatioMia::new(probe, seed);
+    let frequency = FrequencyBaseline { probe };
+    let panel: [&dyn Adversary; 3] = [&reconstruction, &mia, &frequency];
+    panel.iter().map(|adv| evaluate(*adv)).collect()
+}
+
+/// Assembles the final [`CellResult`] from the measured pieces.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    spec: &CellSpec,
+    dataset: String,
+    transcript_epsilon: Option<f64>,
+    node_transcript_epsilon: Option<f64>,
+    accuracy_bound: f64,
+    exact_hits: usize,
+    scored_entries: usize,
+    plan: &ExperimentPlan,
+    evaluated: Vec<(AttackResult, BoundsComparison)>,
+) -> CellResult {
+    let first = &evaluated[0].1;
+    let mean_accuracy = first.mean_accuracy;
+    let advantage_ceiling = first.advantage_ceiling;
+    let node_epsilon_lower = first.node_epsilon_lower.and_then(finite);
+    let node_epsilon_lower_asymptotic = first.node_epsilon_lower_asymptotic.and_then(finite);
+    let accuracy_interval = (scored_entries > 0).then(|| {
+        let (lower, upper) = clopper_pearson(exact_hits, scored_entries, plan.confidence);
+        Interval { lower, upper }
+    });
+    let adversaries = evaluated
+        .iter()
+        .map(|(result, comparison)| {
+            adversary_cell(result, comparison, plan.trials_per_world, plan.confidence)
+        })
+        .collect();
+    CellResult {
+        spec: spec.clone(),
+        dataset,
+        transcript_epsilon: transcript_epsilon.and_then(finite),
+        node_transcript_epsilon: node_transcript_epsilon.and_then(finite),
+        accuracy_bound,
+        advantage_ceiling,
+        node_epsilon_lower,
+        node_epsilon_lower_asymptotic,
+        mean_accuracy,
+        exact_hits,
+        scored_entries,
+        accuracy_interval,
+        adversaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psr_datasets::toy::karate_club;
+
+    fn toy_cell(mechanism: &str, epsilon: Option<f64>, adjacency: &str) -> CellSpec {
+        CellSpec {
+            index: 0,
+            dataset: 0,
+            utility: "common-neighbors".to_owned(),
+            adjacency: adjacency.to_owned(),
+            mechanism: mechanism.to_owned(),
+            epsilon,
+            engine: "gumbel".to_owned(),
+        }
+    }
+
+    #[test]
+    fn edge_cell_measures_theory_accuracy_and_adversaries() {
+        let plan = ExperimentPlan::toy();
+        let graph = Arc::new(karate_club());
+        let spec = toy_cell("exponential", Some(0.5), "edge");
+        let cell = run_cell(&plan, &spec, &graph).unwrap();
+        assert_eq!(cell.dataset, "karate");
+        assert_eq!(cell.adversaries.len(), 3);
+        assert!(cell.transcript_epsilon.is_some());
+        assert!(cell.accuracy_bound > 0.0 && cell.accuracy_bound <= 1.0);
+        assert!(cell.advantage_ceiling > 0.0 && cell.advantage_ceiling <= 1.0);
+        assert!(cell.scored_entries > 0);
+        assert!(cell.exact_hits <= cell.scored_entries);
+        let interval = cell.accuracy_interval.unwrap();
+        assert!(0.0 <= interval.lower && interval.lower <= interval.upper && interval.upper <= 1.0);
+        for adv in &cell.adversaries {
+            assert!((0.0..=1.0).contains(&adv.advantage));
+            assert!(adv.tpr_interval.lower <= adv.tpr + 1e-12);
+            assert!(adv.tpr <= adv.tpr_interval.upper + 1e-12);
+            assert!(adv.empirical_epsilon_lower <= adv.empirical_epsilon + 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_private_cell_has_vacuous_theory() {
+        let plan = ExperimentPlan::toy();
+        let graph = Arc::new(karate_club());
+        let spec = toy_cell("non-private", None, "edge");
+        let cell = run_cell(&plan, &spec, &graph).unwrap();
+        assert_eq!(cell.transcript_epsilon, None);
+        assert_eq!(cell.accuracy_bound, 1.0);
+        assert_eq!(cell.advantage_ceiling, 1.0);
+    }
+
+    #[test]
+    fn node_cell_carries_appendix_a_floors() {
+        let plan = ExperimentPlan::toy();
+        let graph = Arc::new(karate_club());
+        let spec = toy_cell("exponential", Some(0.5), "node");
+        let cell = run_cell(&plan, &spec, &graph).unwrap();
+        assert!(cell.node_transcript_epsilon.is_some());
+        assert!(cell.node_epsilon_lower.is_some());
+        assert!(cell.node_epsilon_lower_asymptotic.is_some());
+    }
+
+    #[test]
+    fn cells_are_deterministic_and_round_trip_exactly() {
+        let plan = ExperimentPlan::toy();
+        let graph = Arc::new(karate_club());
+        let spec = toy_cell("exponential", Some(2.0), "edge");
+        let a = run_cell(&plan, &spec, &graph).unwrap();
+        let b = run_cell(&plan, &spec, &graph).unwrap();
+        assert_eq!(a, b, "same plan + spec must be bit-identical");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: CellResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(json, serde_json::to_string(&back).unwrap(), "serialisation is stable");
+    }
+}
