@@ -195,6 +195,30 @@ fn frontier_snapshot_covers_every_case_and_keeps_the_replay_win() {
 }
 
 #[test]
+fn obs_snapshot_keeps_telemetry_overhead_within_five_percent() {
+    // The telemetry layer's contract: watching the serving hot path may
+    // cost at most 5% — the committed baseline must prove it, so a
+    // regression snapshot is a visible act, not a silent drift.
+    let snapshot = load("obs");
+    let plain = median(&snapshot, "obs_overhead/uninstrumented_serving");
+    let instrumented = median(&snapshot, "obs_overhead/instrumented_serving");
+    assert!(
+        instrumented <= 1.05 * plain,
+        "committed snapshot has instrumented serving at {instrumented} ns, past 5% over \
+         uninstrumented {plain} ns"
+    );
+    // Record ops stay single-RMW cheap, and the disabled handles cost
+    // (much) less than the live ones — zero-cost-when-off, committed.
+    let inc = median(&snapshot, "obs_ops/counter_inc");
+    median(&snapshot, "obs_ops/histogram_record");
+    median(&snapshot, "obs_ops/disabled_counter_inc");
+    assert!(inc < 1_000.0, "a live counter inc must stay nanoseconds-cheap, got {inc} ns");
+    gauge(&snapshot, "obs/counter_inc_ns");
+    gauge(&snapshot, "obs/histogram_record_ns");
+    gauge(&snapshot, "obs/disabled_counter_inc_ns");
+}
+
+#[test]
 fn kernels_snapshot_covers_every_case_and_keeps_the_wins() {
     let snapshot = load("kernels");
     let gallop = median(&snapshot, "kernels_intersection/gallop_hub_leaf");

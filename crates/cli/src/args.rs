@@ -47,10 +47,16 @@ serve options (batch serving over a worker pool):
   --threads <n>     worker threads (default: all cores)
   --seed <u64>      master seed (default 42)
   --json <path>     write the JSON outcome report here instead of stdout
+  --metrics-out <path>  enable telemetry and write the metrics snapshot
+                    (counters, gauges, latency histograms) as JSON here;
+                    the report embeds the same snapshot
+  --trace <path>    enable telemetry and write the structured trace ring
+                    as JSONL here (one event per line, sequence-ordered)
 
 daemon options (always-on serving over generated request/mutation streams):
   --input, --directed, --preset, --scale, --utility, --gamma, --backend,
-  --snapshot, --epsilon, --budget, --engine, --threads, --seed, --json
+  --snapshot, --epsilon, --budget, --engine, --threads, --seed, --json,
+  --metrics-out, --trace
                     as for serve
   --request-events <n>   requests to generate (default 256)
   --mutation-events <n>  edge mutations to interleave (default 32)
@@ -64,6 +70,8 @@ daemon options (always-on serving over generated request/mutation streams):
                     ε spend survives restarts (default: in-memory)
   --rate <f64>      replay pacing in stream ticks per second
                     (default: no pacing, drain as fast as possible)
+  --heartbeat <secs>  print an ingestion-progress line (events ingested,
+                    batches drained, ETA) to stderr every <secs> seconds
 
 attack options (empirical edge- and node-inference adversaries):
   --input, --directed, --scale, --seed  as for recommend
@@ -117,6 +125,12 @@ frontier options (orchestrated privacy-utility sweep lab):
                     itself incomplete and the same command resumes it
   --threads <n>     worker threads (default: all cores); any value
                     produces a byte-identical report
+  --heartbeat <secs>  print a sweep-progress line (cells done, ETA) to
+                    stderr every <secs> seconds
+  --metrics-out <path>  enable telemetry and write the metrics snapshot
+                    (fsync latency, resume counters) as JSON here
+  --trace <path>    enable telemetry and write per-cell start/finish/
+                    resume events as JSONL here
 
 build-snapshot options (out-of-core PSRZ snapshot builder):
   --out <path>      where to write the snapshot (required)
@@ -195,6 +209,15 @@ fn parse_epsilon(raw: &str) -> Result<f64, String> {
         return Err("--epsilon must be positive".into());
     }
     Ok(epsilon)
+}
+
+/// Validated `--heartbeat` parse: a positive whole number of seconds.
+fn parse_heartbeat(raw: &str) -> Result<u64, String> {
+    let secs: u64 = raw.parse().map_err(|e| format!("--heartbeat: {e}"))?;
+    if secs == 0 {
+        return Err("--heartbeat must be at least 1 second".into());
+    }
+    Ok(secs)
 }
 
 /// Validated `--scale` parse: a fraction of the paper-scale dataset.
@@ -282,6 +305,13 @@ pub struct FrontierOptions {
     pub threads: Option<usize>,
     /// Write the built-in toy plan to this path and exit.
     pub write_plan: Option<String>,
+    /// Stderr progress-line period in seconds (None = silent).
+    pub heartbeat: Option<u64>,
+    /// Telemetry metrics-snapshot path (None = telemetry stays off
+    /// unless `--trace` enables it).
+    pub metrics_out: Option<String>,
+    /// Telemetry trace JSONL path (None = no trace export).
+    pub trace: Option<String>,
 }
 
 impl Default for FrontierOptions {
@@ -294,6 +324,9 @@ impl Default for FrontierOptions {
             max_cells: None,
             threads: None,
             write_plan: None,
+            heartbeat: None,
+            metrics_out: None,
+            trace: None,
         }
     }
 }
@@ -322,6 +355,9 @@ fn parse_frontier(rest: &[String]) -> Result<FrontierOptions, String> {
                     Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
             }
             "--write-plan" => opts.write_plan = Some(value("--write-plan")?.clone()),
+            "--heartbeat" => opts.heartbeat = Some(parse_heartbeat(value("--heartbeat")?)?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?.clone()),
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
             other => return Err(format!("unknown frontier option {other:?}")),
         }
     }
@@ -484,6 +520,13 @@ pub struct DaemonOptions {
     pub seed: u64,
     /// Optional JSON report path (stdout when absent).
     pub json: Option<String>,
+    /// Stderr progress-line period in seconds (None = silent).
+    pub heartbeat: Option<u64>,
+    /// Telemetry metrics-snapshot path (None = telemetry stays off
+    /// unless `--trace` enables it).
+    pub metrics_out: Option<String>,
+    /// Telemetry trace JSONL path (None = no trace export).
+    pub trace: Option<String>,
 }
 
 impl Default for DaemonOptions {
@@ -512,6 +555,9 @@ impl Default for DaemonOptions {
             threads: None,
             seed: 42,
             json: None,
+            heartbeat: None,
+            metrics_out: None,
+            trace: None,
         }
     }
 }
@@ -607,6 +653,9 @@ fn parse_daemon(rest: &[String]) -> Result<DaemonOptions, String> {
             }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--json" => opts.json = Some(value("--json")?.clone()),
+            "--heartbeat" => opts.heartbeat = Some(parse_heartbeat(value("--heartbeat")?)?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?.clone()),
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
             other => return Err(format!("unknown daemon option {other:?}")),
         }
     }
@@ -891,6 +940,11 @@ pub struct ServeOptions {
     pub seed: u64,
     /// Optional JSON report path (stdout when absent).
     pub json: Option<String>,
+    /// Telemetry metrics-snapshot path (None = telemetry stays off
+    /// unless `--trace` enables it).
+    pub metrics_out: Option<String>,
+    /// Telemetry trace JSONL path (None = no trace export).
+    pub trace: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -912,6 +966,8 @@ impl Default for ServeOptions {
             threads: None,
             seed: 42,
             json: None,
+            metrics_out: None,
+            trace: None,
         }
     }
 }
@@ -954,6 +1010,8 @@ fn parse_serve(rest: &[String]) -> Result<ServeOptions, String> {
             }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--json" => opts.json = Some(value("--json")?.clone()),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?.clone()),
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
             other => return Err(format!("unknown serve option {other:?}")),
         }
     }
@@ -1576,6 +1634,47 @@ mod tests {
         assert!(parse(&argv("frontier --no-journal --max-cells 1")).is_err());
         assert!(parse(&argv("frontier --plan")).is_err());
         assert!(parse(&argv("frontier --bogus")).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_on_serve_daemon_and_frontier() {
+        match parse(&argv("serve --requests r.json --metrics-out m.json --trace t.jsonl")).unwrap()
+        {
+            Command::Serve { opts } => {
+                assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("daemon --metrics-out m.json --trace t.jsonl --heartbeat 5")).unwrap() {
+            Command::Daemon { opts } => {
+                assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+                assert_eq!(opts.heartbeat, Some(5));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("frontier --metrics-out m.json --trace t.jsonl --heartbeat 2")).unwrap() {
+            Command::Frontier { opts } => {
+                assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+                assert_eq!(opts.heartbeat, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Telemetry stays off by default, and heartbeats must be positive.
+        match parse(&argv("daemon")).unwrap() {
+            Command::Daemon { opts } => {
+                assert_eq!(opts.metrics_out, None);
+                assert_eq!(opts.trace, None);
+                assert_eq!(opts.heartbeat, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("daemon --heartbeat 0")).is_err());
+        assert!(parse(&argv("frontier --heartbeat x")).is_err());
+        assert!(parse(&argv("daemon --metrics-out")).is_err());
+        assert!(parse(&argv("serve --requests r.json --trace")).is_err());
     }
 
     #[test]

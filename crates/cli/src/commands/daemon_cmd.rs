@@ -10,6 +10,8 @@
 //! JSON report carries the full [`DaemonMetrics`] block — throughput,
 //! queue depth, budget rejections and per-epoch latency quantiles.
 
+use std::time::Duration;
+
 use psr_core::serving::daemon::{multiplex, run_daemon, DaemonConfig, DaemonMetrics};
 use psr_core::serving::{RecommendationService, ServiceConfig};
 use psr_core::JournalLedger;
@@ -17,6 +19,7 @@ use psr_gen::{
     edge_stream, request_stream, rng_from_seed, split_seed, ReplayClock, RequestStreamParams,
     StreamParams,
 };
+use psr_obs::MetricsSnapshot;
 use psr_privacy::TopKEngine;
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use serde::Serialize;
@@ -50,6 +53,9 @@ struct DaemonReport {
     mutation_events: usize,
     metrics: DaemonMetrics,
     epochs: Vec<EpochRecord>,
+    /// Metrics snapshot of the run; `null` unless telemetry was enabled
+    /// via `--metrics-out` / `--trace`.
+    telemetry: Option<MetricsSnapshot>,
 }
 
 pub fn run(opts: &DaemonOptions) {
@@ -102,7 +108,7 @@ pub fn run(opts: &DaemonOptions) {
         threads: opts.threads,
         ..Default::default()
     };
-    let service = match &opts.ledger {
+    let mut service = match &opts.ledger {
         Some(path) => {
             let ledger = JournalLedger::open(path, opts.budget)
                 .unwrap_or_else(|e| panic!("opening budget ledger {path}: {e}"));
@@ -115,6 +121,8 @@ pub fn run(opts: &DaemonOptions) {
         }
         None => RecommendationService::with_backend(backend, utility, config),
     };
+    let telemetry = super::build_telemetry(opts.metrics_out.as_deref(), opts.trace.as_deref());
+    service.set_telemetry(telemetry.clone());
     // Captured before the run: mid-stream compaction re-bases the service
     // onto an in-RAM CSR, and the report should name the backing the
     // daemon *started* serving from.
@@ -127,9 +135,13 @@ pub fn run(opts: &DaemonOptions) {
             queue_capacity: opts.queue,
             workers: opts.threads,
             clock: opts.rate.map(ReplayClock::new),
+            heartbeat: opts.heartbeat.map(Duration::from_secs),
         },
     )
     .unwrap_or_else(|e| panic!("daemon stopped: {e}"));
+    service.export_gauges();
+    let snapshot =
+        super::finish_telemetry(&telemetry, opts.metrics_out.as_deref(), opts.trace.as_deref());
 
     let report = DaemonReport {
         utility: utility_name,
@@ -155,6 +167,7 @@ pub fn run(opts: &DaemonOptions) {
             })
             .collect(),
         metrics: run.metrics,
+        telemetry: snapshot,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialisable");
     let headline = format!(

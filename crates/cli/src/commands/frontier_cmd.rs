@@ -9,6 +9,7 @@
 //! recomputing anything.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use psr_frontier::{run_sweep, ExperimentPlan, FrontierReport, SweepOptions};
 
@@ -52,12 +53,22 @@ pub fn run(opts: &FrontierOptions) {
                 .unwrap_or_else(|| Path::new(&opts.out).with_extension("journal")),
         )
     };
-    let sweep =
-        SweepOptions { threads: opts.threads, journal: journal.clone(), max_cells: opts.max_cells };
+    // Telemetry goes to the `--metrics-out`/`--trace` side files, never
+    // into `frontier.json`: the report is pinned byte-identical across
+    // worker counts and kill/resume boundaries, and latency data is not.
+    let telemetry = super::build_telemetry(opts.metrics_out.as_deref(), opts.trace.as_deref());
+    let sweep = SweepOptions {
+        threads: opts.threads,
+        journal: journal.clone(),
+        max_cells: opts.max_cells,
+        telemetry: Some(telemetry.clone()),
+        heartbeat: opts.heartbeat.map(Duration::from_secs),
+    };
     let outcome = run_sweep(&plan, &sweep).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    super::finish_telemetry(&telemetry, opts.metrics_out.as_deref(), opts.trace.as_deref());
 
     if !outcome.complete {
         let measured = outcome.results.len();

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use psr_datasets::{livejournal_like, twitter_like, wiki_vote_like, PresetConfig};
 use psr_graph::io::IdMap;
 use psr_graph::{CompressedCsr, Direction, Graph, GraphBackend};
+use psr_obs::{MetricsSnapshot, Telemetry};
 
 use crate::args::Command;
 
@@ -104,6 +105,40 @@ pub(crate) fn load_serving_backend(
         other => unreachable!("arg parser admits only known backends, got {other}"),
     };
     (backend, ids)
+}
+
+/// Builds a command's telemetry bundle: live when `--metrics-out` or
+/// `--trace` was given, disabled (every handle a no-op) otherwise.
+/// Shared by `serve`, `daemon` and `frontier`.
+pub(crate) fn build_telemetry(metrics_out: Option<&str>, trace: Option<&str>) -> Arc<Telemetry> {
+    if metrics_out.is_some() || trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// Writes the metrics snapshot and/or trace JSONL the user asked for and
+/// returns the snapshot so the command's JSON report can embed it.
+/// Returns `None` (and writes nothing) when telemetry was never enabled.
+pub(crate) fn finish_telemetry(
+    telemetry: &Telemetry,
+    metrics_out: Option<&str>,
+    trace: Option<&str>,
+) -> Option<MetricsSnapshot> {
+    if !telemetry.is_enabled() {
+        return None;
+    }
+    let snapshot = telemetry.metrics().snapshot();
+    if let Some(path) = metrics_out {
+        let json = serde_json::to_string_pretty(&snapshot).expect("serialisable") + "\n";
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(path) = trace {
+        std::fs::write(path, telemetry.trace().to_jsonl())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    Some(snapshot)
 }
 
 /// Renders a compact node id under an optional [`IdMap`]: the original

@@ -19,6 +19,7 @@ use psr_core::serving::daemon::{run_daemon, DaemonConfig, DaemonEvent};
 use psr_core::serving::{BatchRequest, RecommendationService, ServeError, Served, ServiceConfig};
 use psr_gen::split_seed;
 use psr_graph::EdgeMutation;
+use psr_obs::MetricsSnapshot;
 use psr_privacy::TopKEngine;
 use psr_utility::{CommonNeighbors, UtilityFunction, WeightedPaths};
 use serde::Serialize;
@@ -64,6 +65,9 @@ struct ServeReport {
     rejected: usize,
     epochs: Vec<EpochRecord>,
     outcomes: Vec<OutcomeRecord>,
+    /// Metrics snapshot of the run; `null` unless telemetry was enabled
+    /// via `--metrics-out` / `--trace`.
+    telemetry: Option<MetricsSnapshot>,
 }
 
 /// Parses a mutation schedule: a JSON array of mutation batches, each an
@@ -127,7 +131,7 @@ pub fn run(opts: &ServeOptions) {
         .engine
         .parse()
         .unwrap_or_else(|e| unreachable!("arg parser admits only known engines: {e}"));
-    let service = RecommendationService::with_backend(
+    let mut service = RecommendationService::with_backend(
         backend,
         utility,
         ServiceConfig {
@@ -138,6 +142,8 @@ pub fn run(opts: &ServeOptions) {
             ..Default::default()
         },
     );
+    let telemetry = super::build_telemetry(opts.metrics_out.as_deref(), opts.trace.as_deref());
+    service.set_telemetry(telemetry.clone());
     // Captured before the run: mid-stream compaction re-bases the service
     // onto an in-RAM CSR, and the report should name the backing the run
     // *started* from.
@@ -193,6 +199,10 @@ pub fn run(opts: &ServeOptions) {
         })
         .collect();
 
+    service.export_gauges();
+    let snapshot =
+        super::finish_telemetry(&telemetry, opts.metrics_out.as_deref(), opts.trace.as_deref());
+
     let report = ServeReport {
         utility: utility_name,
         engine: engine.name().to_owned(),
@@ -204,6 +214,7 @@ pub fn run(opts: &ServeOptions) {
         rejected: records.iter().filter(|r| r.error.is_some()).count(),
         epochs,
         outcomes: records,
+        telemetry: snapshot,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialisable");
     match &opts.json {

@@ -96,6 +96,16 @@ impl BudgetAccountant {
     pub fn reset(&mut self) {
         self.spent.clear();
     }
+
+    /// Every target that has spent anything, with its cumulative ε,
+    /// sorted by target id — the export surface behind the per-target
+    /// ε-spend gauges in `--metrics-out` snapshots.
+    pub fn spent_per_target(&self) -> Vec<(NodeId, f64)> {
+        let mut spend: Vec<(NodeId, f64)> =
+            self.spent.iter().map(|(&target, &eps)| (target, eps)).collect();
+        spend.sort_by_key(|&(target, _)| target);
+        spend
+    }
 }
 
 #[cfg(test)]

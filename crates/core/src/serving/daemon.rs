@@ -27,8 +27,9 @@
 //! contract.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use psr_gen::seed::split_seed;
 use psr_gen::stream::{ReplayClock, RequestEvent, StreamEvent};
@@ -135,11 +136,15 @@ pub struct DaemonConfig {
     /// one-shot serve path) ingests as fast as admission allows. Pacing
     /// never changes results, only their wall-clock spacing.
     pub clock: Option<ReplayClock>,
+    /// Print a progress line (events ingested, batches drained, ETA) to
+    /// stderr roughly this often. `None` stays silent. Heartbeats are
+    /// operational output only and never touch results.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
-        DaemonConfig { queue_capacity: 8, workers: None, clock: None }
+        DaemonConfig { queue_capacity: 8, workers: None, clock: None, heartbeat: None }
     }
 }
 
@@ -202,76 +207,10 @@ pub struct DaemonRun {
     pub metrics: DaemonMetrics,
 }
 
-/// Quantile summary of a latency population, from the log₂-bucketed
-/// [`LatencyHistogram`]. Quantiles are bucket upper bounds (≤ 2× exact).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-pub struct LatencySummary {
-    /// Number of recorded samples.
-    pub count: u64,
-    /// Median, nanoseconds.
-    pub p50_ns: u64,
-    /// 95th percentile, nanoseconds.
-    pub p95_ns: u64,
-    /// 99th percentile, nanoseconds.
-    pub p99_ns: u64,
-    /// Exact maximum, nanoseconds.
-    pub max_ns: u64,
-}
-
-/// A log₂-bucketed latency histogram: constant-size, constant-time
-/// recording, good-enough quantiles for serving dashboards.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 64],
-    count: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, max_ns: 0 }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one latency sample.
-    pub fn record(&mut self, ns: u64) {
-        let bucket = (64 - ns.leading_zeros() as usize).min(63);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// The value at quantile `q` ∈ [0, 1]: the upper bound of the bucket
-    /// holding the q-th sample (0 when empty).
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Bucket b holds values in [2^(b-1), 2^b).
-                let bound = if bucket >= 63 { u64::MAX } else { (1u64 << bucket) - 1 };
-                return bound.min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Collapses the histogram into the standard serving quantiles.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count,
-            p50_ns: self.quantile(0.50),
-            p95_ns: self.quantile(0.95),
-            p99_ns: self.quantile(0.99),
-            max_ns: self.max_ns,
-        }
-    }
-}
+// The log₂ latency histogram and its quantile summary were born here
+// and are re-exported for compatibility; they now live in `psr-obs` so
+// the daemon, the serving layer, and the frontier share one bucketing.
+pub use psr_obs::{LatencyHistogram, LatencySummary};
 
 /// Per-epoch serving metrics: how much traffic each graph version
 /// served and at what queue-to-completion latency.
@@ -430,12 +369,20 @@ pub fn run_daemon(
     let mut applied = Vec::new();
     let mut ingested_batches = 0usize;
     let mut ingestion_error: Option<DaemonError> = None;
+    // Heartbeat progress counters: operational only, never results.
+    let ingested_events = AtomicUsize::new(0);
+    let pushed_batches = AtomicUsize::new(0);
+    let drained_batches = AtomicUsize::new(0);
+    let ingestion_done = AtomicBool::new(false);
     let start = Instant::now();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(job) = queue.pop() {
+                    // Same per-batch serve span the one-shot path opens in
+                    // `serve_batch_pinned`; inert when telemetry is off.
+                    let _span = service.telemetry.serve_span(job.pin.version(), job.requests.len());
                     let outcomes: Vec<Result<Served, ServeError>> = job
                         .requests
                         .iter()
@@ -451,6 +398,42 @@ pub fn run_daemon(
                         outcomes,
                     };
                     results.lock().expect("results lock")[job.slot] = Some(result);
+                    drained_batches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        if let Some(period) = config.heartbeat {
+            let (ingested_events, drained_batches, pushed_batches, ingestion_done) =
+                (&ingested_events, &drained_batches, &pushed_batches, &ingestion_done);
+            scope.spawn(move || {
+                let total = events.len();
+                let mut next_report = period;
+                loop {
+                    std::thread::sleep(Duration::from_millis(25));
+                    let ingested = ingested_events.load(Ordering::Relaxed);
+                    let drained = drained_batches.load(Ordering::Relaxed);
+                    if ingestion_done.load(Ordering::Relaxed)
+                        && drained >= pushed_batches.load(Ordering::Relaxed)
+                    {
+                        break;
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed < next_report {
+                        continue;
+                    }
+                    next_report += period;
+                    let eta = if ingested == 0 {
+                        "?".to_owned()
+                    } else {
+                        let remaining = (total - ingested) as f64 / ingested as f64;
+                        format!("{:.0}", elapsed.as_secs_f64() * remaining)
+                    };
+                    eprintln!(
+                        "[psr daemon] t+{:.0}s: {ingested}/{total} events ingested, \
+                         {drained} request batches drained, ETA {eta}s",
+                        elapsed.as_secs_f64()
+                    );
                 }
             });
         }
@@ -486,9 +469,12 @@ pub fn run_daemon(
                         enqueued: Instant::now(),
                     });
                     ingested_batches += 1;
+                    pushed_batches.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            ingested_events.fetch_add(1, Ordering::Relaxed);
         }
+        ingestion_done.store(true, Ordering::Relaxed);
         queue.close();
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
@@ -498,7 +484,10 @@ pub fn run_daemon(
         return Err(error);
     }
 
-    // Reassemble results in ingestion order and fold the metrics.
+    // Reassemble results in ingestion order and fold the metrics. The
+    // registry histogram mirrors the run's latency population for
+    // `--metrics-out`; on a disabled registry the handle is inert.
+    let batch_latency = service.telemetry().metrics().histogram("daemon.batch_latency_ns");
     let results = results.into_inner().expect("results lock");
     let mut batches = Vec::with_capacity(request_batches);
     let mut histogram = LatencyHistogram::default();
@@ -520,6 +509,7 @@ pub fn run_daemon(
             }
         }
         histogram.record(result.latency_ns);
+        batch_latency.record(result.latency_ns);
         match per_epoch.iter_mut().find(|(epoch, ..)| *epoch == result.epoch) {
             Some((_, n_batches, n_requests, epoch_hist)) => {
                 *n_batches += 1;
@@ -649,7 +639,7 @@ mod tests {
             run_daemon(
                 &svc,
                 &events,
-                &DaemonConfig { workers: Some(workers), queue_capacity: 2, clock: None },
+                &DaemonConfig { workers: Some(workers), queue_capacity: 2, ..Default::default() },
             )
             .unwrap()
         };
@@ -809,18 +799,46 @@ mod tests {
     }
 
     #[test]
-    fn latency_histogram_buckets_and_quantiles() {
-        let mut hist = LatencyHistogram::default();
-        assert_eq!(hist.summary().p50_ns, 0);
-        for ns in [10, 20, 30, 1000, 2000, 100_000] {
-            hist.record(ns);
+    fn metrics_json_shape_is_pinned() {
+        // The histogram moved to psr-obs; the wire shape of
+        // DaemonMetrics/EpochMetrics must not move with it. Reports and
+        // downstream scrapers key on these exact field names and order.
+        let svc = service();
+        let events = vec![
+            DaemonEvent::Requests {
+                time: 1,
+                seed: 1,
+                requests: vec![BatchRequest { target: 0, k: 2 }],
+            },
+            DaemonEvent::Mutations { time: 2, mutations: vec![EdgeMutation::insert(24, 16)] },
+            DaemonEvent::Requests {
+                time: 3,
+                seed: 2,
+                requests: vec![BatchRequest { target: 1, k: 2 }],
+            },
+        ];
+        let run = run_daemon(&svc, &events, &DaemonConfig::default()).unwrap();
+        let json = serde_json::to_string(&run.metrics).unwrap();
+        assert!(
+            json.starts_with(
+                "{\"events\":3,\"request_batches\":2,\"mutation_batches\":1,\"requests\":2,"
+            ),
+            "{json}"
+        );
+        for key in [
+            "\"served\":",
+            "\"rejected_for_budget\":",
+            "\"rejected_other\":",
+            "\"max_queue_depth\":",
+            "\"wall_ns\":",
+            "\"throughput_rps\":",
+            "\"latency\":{\"count\":2,\"p50_ns\":",
+            "\"p95_ns\":",
+            "\"p99_ns\":",
+            "\"max_ns\":",
+            "\"per_epoch\":[{\"epoch\":0,\"batches\":1,\"requests\":1,\"latency\":{",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
         }
-        let summary = hist.summary();
-        assert_eq!(summary.count, 6);
-        assert_eq!(summary.max_ns, 100_000);
-        assert!(summary.p50_ns >= 30 && summary.p50_ns < 1000, "p50 {}", summary.p50_ns);
-        assert!(summary.p99_ns >= 65_536, "p99 {}", summary.p99_ns);
-        assert!(summary.p50_ns <= summary.p95_ns && summary.p95_ns <= summary.p99_ns);
-        assert!(summary.p99_ns <= summary.max_ns);
     }
 }

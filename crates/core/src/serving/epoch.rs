@@ -25,10 +25,38 @@ use std::sync::{Arc, Mutex};
 
 use psr_gen::seed::{rng_from_seed, split_seed};
 use psr_graph::{DeltaGraph, Direction, GraphView, NodeId};
+use psr_obs::{fields, Telemetry};
 use psr_privacy::{resolve_zero_class_distinct, topk};
 use psr_utility::{CandidateSet, UtilityFunction, UtilityVector};
 
-use super::{BatchRequest, ServeError, Served, ServiceConfig};
+use super::{BatchRequest, Epoch, ServeError, Served, ServiceConfig};
+
+/// Records one applied mutation batch into the trace ring
+/// (`epoch.apply` with the batch's shape and invalidation footprint) and
+/// the epoch counters. A no-op on disabled telemetry; the epoch swap
+/// itself happened before this runs, so tracing can never perturb it.
+pub(crate) fn trace_epoch_apply(telemetry: &Telemetry, epoch: &Epoch) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.trace().event(
+        "epoch.apply",
+        fields![
+            "version" => epoch.version,
+            "insertions" => epoch.insertions,
+            "deletions" => epoch.deletions,
+            "dirty" => epoch.dirty_targets.len(),
+            "invalidated" => epoch.invalidated,
+            "compacted" => epoch.compacted,
+        ],
+    );
+    let metrics = telemetry.metrics();
+    metrics.counter("epoch.applied").inc();
+    metrics.counter("epoch.invalidated_targets").add(epoch.invalidated as u64);
+    if epoch.compacted {
+        metrics.counter("epoch.compactions").inc();
+    }
+}
 
 /// A target's per-epoch serving state, computed once and shared by every
 /// request about the target until a mutation dirties it.

@@ -38,8 +38,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use psr_graph::NodeId;
+use psr_obs::{Histogram, MetricsRegistry};
 
 use super::budget::{BudgetAccountant, BudgetExceeded};
 use super::journal::{lossy_utf8_prefix, seal, unseal, LineSplitter};
@@ -76,6 +78,18 @@ pub trait BudgetLedger: Send {
     fn description(&self) -> String {
         "memory".to_owned()
     }
+
+    /// Attaches telemetry handles minted from `metrics` (e.g. the fsync
+    /// latency histogram of a durable ledger). Telemetry observes, never
+    /// participates: instrumented and uninstrumented ledgers admit and
+    /// persist identically. Default: nothing to instrument.
+    fn instrument(&mut self, _metrics: &MetricsRegistry) {}
+
+    /// Writes the ledger's point-in-time budget gauges into `metrics`:
+    /// the configured budget, how many targets have spent anything, and
+    /// one `budget.eps_spent.t<target>` gauge per charged target.
+    /// Default: nothing to export.
+    fn export_spend_gauges(&self, _metrics: &MetricsRegistry) {}
 }
 
 impl BudgetLedger for BudgetAccountant {
@@ -98,6 +112,18 @@ impl BudgetLedger for BudgetAccountant {
     fn reset(&mut self) -> io::Result<()> {
         BudgetAccountant::reset(self);
         Ok(())
+    }
+
+    fn export_spend_gauges(&self, metrics: &MetricsRegistry) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.gauge("budget.eps_per_target").set(self.budget_per_target());
+        let spend = self.spent_per_target();
+        metrics.gauge("budget.targets_charged").set(spend.len() as f64);
+        for (target, eps) in spend {
+            metrics.gauge(&format!("budget.eps_spent.t{target}")).set(eps);
+        }
     }
 }
 
@@ -122,6 +148,8 @@ pub struct JournalLedger {
     accountant: BudgetAccountant,
     /// Lines staged by `try_charge`, written and fsynced by `sync`.
     pending: String,
+    /// Per-sync write+fsync latency; inert until `instrument` is called.
+    fsync_latency: Histogram,
 }
 
 impl JournalLedger {
@@ -188,7 +216,13 @@ impl JournalLedger {
             file.write_all(header.as_bytes())?;
             file.sync_data()?;
         }
-        Ok(JournalLedger { path, file, accountant, pending: String::new() })
+        Ok(JournalLedger {
+            path,
+            file,
+            accountant,
+            pending: String::new(),
+            fsync_latency: Histogram::default(),
+        })
     }
 
     /// The journal's on-disk path.
@@ -223,9 +257,16 @@ impl BudgetLedger for JournalLedger {
         if self.pending.is_empty() {
             return Ok(());
         }
+        // The clock is only read when the histogram is live, so an
+        // uninstrumented sync pays nothing.
+        let start = self.fsync_latency.is_enabled().then(Instant::now);
         self.file.write_all(self.pending.as_bytes())?;
         self.file.sync_data()?;
         self.pending.clear();
+        if let Some(start) = start {
+            self.fsync_latency
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         Ok(())
     }
 
@@ -243,6 +284,14 @@ impl BudgetLedger for JournalLedger {
 
     fn description(&self) -> String {
         format!("journal:{}", self.path.display())
+    }
+
+    fn instrument(&mut self, metrics: &MetricsRegistry) {
+        self.fsync_latency = metrics.histogram("ledger.fsync_ns");
+    }
+
+    fn export_spend_gauges(&self, metrics: &MetricsRegistry) {
+        BudgetLedger::export_spend_gauges(&self.accountant, metrics);
     }
 }
 

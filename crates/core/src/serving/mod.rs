@@ -75,6 +75,7 @@ use epoch::EpochState;
 use psr_graph::{
     DeltaGraph, EdgeMutation, Graph, GraphBackend, GraphError, GraphView, MutationOp, NodeId,
 };
+use psr_obs::{fields, Counter, SpanGuard, Telemetry};
 use psr_privacy::TopKEngine;
 use psr_utility::{SensitivityNorm, UtilityFunction};
 use serde::{Deserialize, Serialize};
@@ -261,6 +262,62 @@ pub struct Epoch {
 /// onto a compacted CSR (¼ keeps overlay map probes rare on hot paths).
 const COMPACT_DIRTY_FRACTION: f64 = 0.25;
 
+/// The service's telemetry bundle: the shared [`Telemetry`] handle plus
+/// counters pre-minted at attach time so the serving hot path never
+/// touches the registry's name table. All handles are inert (one `None`
+/// branch) when the bundle was built from a disabled [`Telemetry`].
+struct ServingTelemetry {
+    telemetry: Arc<Telemetry>,
+    admitted: Counter,
+    rejected_budget: Counter,
+    rejected_other: Counter,
+    batches: Counter,
+}
+
+impl ServingTelemetry {
+    fn attach(telemetry: Arc<Telemetry>) -> Self {
+        let metrics = telemetry.metrics();
+        ServingTelemetry {
+            admitted: metrics.counter("serve.admitted"),
+            rejected_budget: metrics.counter("serve.rejected_budget"),
+            rejected_other: metrics.counter("serve.rejected_other"),
+            batches: metrics.counter("serve.batches"),
+            telemetry,
+        }
+    }
+
+    fn disabled() -> Self {
+        ServingTelemetry::attach(Telemetry::disabled())
+    }
+
+    /// Opens the per-batch serve span (inert guard, no clock read, when
+    /// tracing is off — the field vector is only built when live).
+    fn serve_span(&self, epoch: u64, requests: usize) -> SpanGuard<'_> {
+        let trace = self.telemetry.trace();
+        let fields = if trace.is_enabled() {
+            fields!["epoch" => epoch, "requests" => requests]
+        } else {
+            Vec::new()
+        };
+        trace.span("serve.batch", fields)
+    }
+
+    /// Folds one batch's admission outcomes into the admission counters.
+    fn record_admissions(&self, admissions: &[Option<ServeError>]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.batches.inc();
+        for admission in admissions {
+            match admission {
+                None => self.admitted.inc(),
+                Some(ServeError::BudgetExhausted { .. }) => self.rejected_budget.inc(),
+                Some(_) => self.rejected_other.inc(),
+            }
+        }
+    }
+}
+
 /// A batch recommendation server over a shared, mutable graph. See the
 /// [module docs](self) for the architecture and the epoch model.
 pub struct RecommendationService {
@@ -274,6 +331,9 @@ pub struct RecommendationService {
     utility: Arc<dyn UtilityFunction>,
     config: ServiceConfig,
     ledger: Mutex<Box<dyn BudgetLedger>>,
+    /// Telemetry observes, never participates: outcomes are bit-identical
+    /// whether this bundle is live or the default disabled one.
+    telemetry: ServingTelemetry,
 }
 
 impl RecommendationService {
@@ -363,6 +423,45 @@ impl RecommendationService {
             utility,
             config,
             ledger: Mutex::new(ledger),
+            telemetry: ServingTelemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry bundle: serve spans, admission counters and
+    /// epoch events flow into its trace ring and metrics registry, and
+    /// the budget ledger is instrumented (fsync latency histogram).
+    /// Telemetry is observational only — serving outcomes are
+    /// bit-identical with a live bundle and with the default disabled one
+    /// (the `telemetry` conformance suite asserts this).
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.ledger.get_mut().expect("ledger lock").instrument(telemetry.metrics());
+        self.telemetry = ServingTelemetry::attach(telemetry);
+    }
+
+    /// The attached telemetry bundle (the always-on disabled bundle
+    /// unless [`RecommendationService::set_telemetry`] was called).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry.telemetry
+    }
+
+    /// Exports point-in-time gauges into the attached metrics registry:
+    /// per-target ε spend from the budget ledger and decode-cache
+    /// statistics when the epoch's base is a compressed backend. Call
+    /// right before snapshotting the registry (`--metrics-out`); a no-op
+    /// when telemetry is disabled.
+    pub fn export_gauges(&self) {
+        let metrics = self.telemetry.telemetry.metrics();
+        if !metrics.is_enabled() {
+            return;
+        }
+        self.ledger.lock().expect("ledger lock").export_spend_gauges(metrics);
+        // Gauges, not counters: the backend's own atomics are the source
+        // of truth, so exporting twice must overwrite, not double-count.
+        if let Some(stats) = self.pin().state.graph.base().cache_stats() {
+            metrics.gauge("graph.decode_cache.hits").set(stats.hits as f64);
+            metrics.gauge("graph.decode_cache.misses").set(stats.misses as f64);
+            metrics.gauge("graph.decode_cache.nodes").set(stats.cached_nodes as f64);
+            metrics.gauge("graph.decode_cache.bytes").set(stats.cached_bytes as f64);
         }
     }
 
@@ -526,14 +625,16 @@ impl RecommendationService {
         );
         *self.current.write().expect("epoch swap point") = Arc::new(next);
 
-        Ok(Epoch {
+        let epoch = Epoch {
             version: old.version + 1,
             insertions: mutations.iter().filter(|m| m.op == MutationOp::Insert).count(),
             deletions: mutations.iter().filter(|m| m.op == MutationOp::Delete).count(),
             dirty_targets,
             invalidated,
             compacted,
-        })
+        };
+        epoch::trace_epoch_apply(&self.telemetry.telemetry, &epoch);
+        Ok(epoch)
     }
 
     /// Folds any pending overlay mutations into a fresh CSR base now,
@@ -587,7 +688,10 @@ impl RecommendationService {
         requests: &[BatchRequest],
         seed: u64,
     ) -> Vec<Result<Served, ServeError>> {
-        // Phase 1 — validation + budget admission + durability point.
+        let _span = self.telemetry.serve_span(pin.version(), requests.len());
+
+        // Phase 1 — validation + budget admission + durability point
+        // (admission counters fold in inside `admit_batch`).
         let admissions = self.admit_batch(pin, requests);
         let mut outcomes: Vec<Option<Result<Served, ServeError>>> =
             admissions.into_iter().map(|r| r.map(Err)).collect();
@@ -640,8 +744,13 @@ impl RecommendationService {
         requests: &[BatchRequest],
     ) -> Vec<Option<ServeError>> {
         let mut ledger = self.ledger.lock().expect("ledger lock");
-        let admissions = requests.iter().map(|r| admit(ledger.as_mut(), &pin.state, r)).collect();
+        let admissions: Vec<Option<ServeError>> =
+            requests.iter().map(|r| admit(ledger.as_mut(), &pin.state, r)).collect();
         ledger.sync().expect("budget ledger sync failed; refusing to release results");
+        drop(ledger);
+        // Admission counters live here — the single admission point shared
+        // by the one-shot serve path and the daemon's ingestion loop.
+        self.telemetry.record_admissions(&admissions);
         admissions
     }
 }

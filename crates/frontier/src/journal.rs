@@ -16,8 +16,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use psr_core::serving::journal::{lossy_utf8_prefix, seal, unseal, LineSplitter};
+use psr_obs::Histogram;
 
 use crate::cell::CellResult;
 
@@ -29,6 +31,8 @@ const HEADER_TAG: &str = "psrfrontier v1";
 pub struct ResultsJournal {
     path: PathBuf,
     file: File,
+    /// Per-append write+fsync latency; inert until `instrument` is called.
+    fsync_latency: Histogram,
 }
 
 impl ResultsJournal {
@@ -102,7 +106,14 @@ impl ResultsJournal {
             file.write_all(header.as_bytes())?;
             file.sync_data()?;
         }
-        Ok((ResultsJournal { path, file }, replayed))
+        Ok((ResultsJournal { path, file, fsync_latency: Histogram::default() }, replayed))
+    }
+
+    /// Attaches a latency histogram recording each append's write+fsync
+    /// time. Telemetry observes, never participates: the journal's bytes
+    /// and durability are identical with or without a live histogram.
+    pub fn instrument(&mut self, fsync_latency: Histogram) {
+        self.fsync_latency = fsync_latency;
     }
 
     /// Appends one completed cell and `fsync`s: once this returns, the
@@ -110,8 +121,16 @@ impl ResultsJournal {
     pub fn append(&mut self, cell: &CellResult) -> io::Result<()> {
         let json = serde_json::to_string(cell)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // The clock is only read when the histogram is live, so an
+        // uninstrumented append pays nothing.
+        let start = self.fsync_latency.is_enabled().then(Instant::now);
         self.file.write_all(seal(&format!("C {json}")).as_bytes())?;
-        self.file.sync_data()
+        self.file.sync_data()?;
+        if let Some(start) = start {
+            self.fsync_latency
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        Ok(())
     }
 
     /// The journal's on-disk path.

@@ -15,9 +15,11 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use psr_datasets::{livejournal_like, twitter_like, wiki_vote_like, PresetConfig};
 use psr_graph::{CompressedCsr, Direction, Graph};
+use psr_obs::{fields, Telemetry};
 
 use crate::cell::{run_cell, CellResult, CellSpec};
 use crate::journal::ResultsJournal;
@@ -37,6 +39,13 @@ pub struct SweepOptions {
     /// it again continues from the journal. This is how the CI smoke and
     /// the kill/resume tests exercise resumption deterministically.
     pub max_cells: Option<usize>,
+    /// Telemetry sink for per-cell trace events, resume counters and the
+    /// journal fsync histogram; `None` = disabled. Purely observational:
+    /// results are bit-identical either way.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Stderr progress-line period (cells done, ETA); `None` = silent.
+    /// Operational output only, never part of any result.
+    pub heartbeat: Option<Duration>,
 }
 
 /// What one invocation of [`run_sweep`] did.
@@ -100,17 +109,29 @@ pub fn run_sweep(plan: &ExperimentPlan, opts: &SweepOptions) -> Result<SweepOutc
     let cells = plan.expand();
     let fingerprint = plan.fingerprint();
     let total = cells.len();
+    let telemetry = opts.telemetry.clone().unwrap_or_else(Telemetry::disabled);
 
     // Resume: everything already in the journal is settled.
     let (mut journal, replayed) = match &opts.journal {
         Some(path) => {
-            let (journal, replayed) = ResultsJournal::open(path, fingerprint, total)
+            let (mut journal, replayed) = ResultsJournal::open(path, fingerprint, total)
                 .map_err(|e| format!("opening journal: {e}"))?;
+            journal.instrument(telemetry.metrics().histogram("frontier.journal.fsync_ns"));
             (Some(journal), replayed)
         }
         None => (None, Vec::new()),
     };
     let resumed = replayed.len();
+    if telemetry.is_enabled() {
+        telemetry.metrics().counter("frontier.cells_total").add(total as u64);
+        telemetry.metrics().counter("frontier.cells_resumed").add(resumed as u64);
+        let trace = telemetry.trace();
+        if trace.is_enabled() {
+            for cell in &replayed {
+                trace.event("frontier.cell.resume", fields!["index" => cell.spec.index]);
+            }
+        }
+    }
     let mut done: Vec<Option<CellResult>> = vec![None; total];
     for cell in replayed {
         let index = cell.spec.index;
@@ -143,30 +164,83 @@ pub fn run_sweep(plan: &ExperimentPlan, opts: &SweepOptions) -> Result<SweepOutc
     let sink: Mutex<(Option<&mut ResultsJournal>, Vec<Option<CellResult>>)> =
         Mutex::new((journal.as_mut(), vec![None; pending.len()]));
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    // Heartbeat progress counters: operational only, never results.
+    let completed = AtomicUsize::new(0);
+    let finished_workers = AtomicUsize::new(0);
+    let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let slot = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = pending.get(slot) else { break };
-                let graph = graphs[spec.dataset].as_ref().expect("dataset preloaded");
-                match run_cell(plan, spec, graph) {
-                    Ok(cell) => {
-                        let mut sink = sink.lock().expect("sweep sink");
-                        if let Some(journal) = sink.0.as_mut() {
-                            if let Err(e) = journal.append(&cell) {
-                                errors
-                                    .lock()
-                                    .expect("sweep errors")
-                                    .push(format!("journalling cell {}: {e}", cell.spec.index));
-                                break;
-                            }
-                        }
-                        sink.1[slot] = Some(cell);
+            let (telemetry, completed, finished_workers) =
+                (&telemetry, &completed, &finished_workers);
+            let (next, sink, errors, pending, graphs) = (&next, &sink, &errors, &pending, &graphs);
+            scope.spawn(move || {
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = pending.get(slot) else { break };
+                    let graph = graphs[spec.dataset].as_ref().expect("dataset preloaded");
+                    let trace = telemetry.trace();
+                    if trace.is_enabled() {
+                        trace.event("frontier.cell.start", fields!["index" => spec.index]);
                     }
-                    Err(e) => {
-                        errors.lock().expect("sweep errors").push(e);
+                    match run_cell(plan, spec, graph) {
+                        Ok(cell) => {
+                            let mut sink = sink.lock().expect("sweep sink");
+                            if let Some(journal) = sink.0.as_mut() {
+                                if let Err(e) = journal.append(&cell) {
+                                    errors
+                                        .lock()
+                                        .expect("sweep errors")
+                                        .push(format!("journalling cell {}: {e}", cell.spec.index));
+                                    break;
+                                }
+                            }
+                            sink.1[slot] = Some(cell);
+                            drop(sink);
+                            if trace.is_enabled() {
+                                trace.event("frontier.cell.finish", fields!["index" => spec.index]);
+                            }
+                            telemetry.metrics().counter("frontier.cells_computed").inc();
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            errors.lock().expect("sweep errors").push(e);
+                            break;
+                        }
+                    }
+                }
+                // Signals the heartbeat monitor; every exit path counts.
+                finished_workers.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+
+        if let Some(period) = opts.heartbeat {
+            let (completed, finished_workers) = (&completed, &finished_workers);
+            let (new_cells, already, grand_total) = (pending.len(), resumed, total);
+            scope.spawn(move || {
+                let mut next_report = period;
+                loop {
+                    std::thread::sleep(Duration::from_millis(25));
+                    if finished_workers.load(Ordering::Relaxed) >= threads {
                         break;
                     }
+                    let elapsed = start.elapsed();
+                    if elapsed < next_report {
+                        continue;
+                    }
+                    next_report += period;
+                    let done = completed.load(Ordering::Relaxed);
+                    let eta = if done == 0 {
+                        "?".to_owned()
+                    } else {
+                        let remaining = (new_cells - done) as f64 / done as f64;
+                        format!("{:.0}", elapsed.as_secs_f64() * remaining)
+                    };
+                    eprintln!(
+                        "[psr frontier] t+{:.0}s: {}/{grand_total} cells measured \
+                         ({done}/{new_cells} this run), ETA {eta}s",
+                        elapsed.as_secs_f64(),
+                        already + done,
+                    );
                 }
             });
         }
@@ -237,14 +311,24 @@ mod tests {
         // "Kill" after two cells, then resume.
         let first = run_sweep(
             &plan,
-            &SweepOptions { threads: Some(2), journal: Some(path.clone()), max_cells: Some(2) },
+            &SweepOptions {
+                threads: Some(2),
+                journal: Some(path.clone()),
+                max_cells: Some(2),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(!first.complete);
         assert_eq!(first.computed, 2);
         let second = run_sweep(
             &plan,
-            &SweepOptions { threads: Some(3), journal: Some(path.clone()), max_cells: None },
+            &SweepOptions {
+                threads: Some(3),
+                journal: Some(path.clone()),
+                max_cells: None,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(second.complete);
@@ -253,8 +337,7 @@ mod tests {
 
         // A third run replays everything and computes nothing.
         let third =
-            run_sweep(&plan, &SweepOptions { threads: None, journal: Some(path), max_cells: None })
-                .unwrap();
+            run_sweep(&plan, &SweepOptions { journal: Some(path), ..Default::default() }).unwrap();
         assert_eq!(third.computed, 0);
         assert_eq!(third.resumed, third.total);
         assert_eq!(third.results, uninterrupted.results);

@@ -39,6 +39,7 @@
 use std::fs::File;
 use std::io::Read as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use crate::builder::Direction;
@@ -239,6 +240,10 @@ pub struct CompressedCsr {
     /// Byte position of the data region within the snapshot.
     data_at: usize,
     cache: Box<[OnceLock<Box<[NodeId]>>]>,
+    /// Cached [`GraphView::neighbors`] reads (no decode happened).
+    cache_hits: AtomicU64,
+    /// Uncached [`GraphView::neighbors`] reads that decoded the list.
+    cache_misses: AtomicU64,
 }
 
 impl CompressedCsr {
@@ -336,6 +341,8 @@ impl CompressedCsr {
             offsets_at: header.offsets_at,
             data_at: header.data_at,
             cache: (0..header.num_nodes).map(|_| OnceLock::new()).collect(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         })
     }
 
@@ -425,10 +432,50 @@ impl CompressedCsr {
             .sum()
     }
 
+    /// [`GraphView::neighbors`] reads served from the decode cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// [`GraphView::neighbors`] reads that had to decode. Two threads
+    /// racing on the same cold node may both count a miss even though one
+    /// decode wins the `OnceLock`, so misses can slightly exceed
+    /// [`CompressedCsr::cached_nodes`].
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// All decode-cache statistics in one read, for
+    /// [`GraphBackend::cache_stats`](crate::GraphBackend::cache_stats).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits(),
+            misses: self.cache_misses(),
+            cached_nodes: self.cached_nodes(),
+            cached_bytes: self.cached_bytes(),
+        }
+    }
+
     /// Materialises the snapshot into an in-RAM CSR [`Graph`].
     pub fn to_graph(&self) -> Graph {
         Graph::from_view(self)
     }
+}
+
+/// Decode-cache statistics of a [`CompressedCsr`], readable through
+/// [`GraphBackend::cache_stats`](crate::GraphBackend::cache_stats) without
+/// downcasting to the concrete backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Neighbour reads served straight from the cache.
+    pub hits: u64,
+    /// Neighbour reads that decoded the list (see
+    /// [`CompressedCsr::cache_misses`] for the racing-miss caveat).
+    pub misses: u64,
+    /// Nodes whose decoded lists are currently materialised.
+    pub cached_nodes: usize,
+    /// Heap bytes those decoded lists hold.
+    pub cached_bytes: usize,
 }
 
 /// Serializes the fixed header with a zero checksum placeholder (patch it
@@ -494,6 +541,11 @@ impl GraphView for CompressedCsr {
 
     fn neighbors(&self, v: NodeId) -> &[NodeId] {
         assert!(ix(v) < self.num_nodes, "node {v} out of range");
+        if let Some(cached) = self.cache[ix(v)].get() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.cache[ix(v)].get_or_init(|| {
             let mut buf = Vec::new();
             self.decode_node(ix(v), &mut buf);

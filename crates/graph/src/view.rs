@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use crate::adjacency::MutableGraph;
 use crate::builder::Direction;
-use crate::compressed::CompressedCsr;
+use crate::compressed::{CacheStats, CompressedCsr};
 use crate::csr::Graph;
 use crate::node::NodeId;
 use crate::shard::ShardedGraph;
@@ -173,6 +173,16 @@ impl GraphBackend {
         match self {
             GraphBackend::Csr(g) => Some(g),
             _ => None,
+        }
+    }
+
+    /// Decode-cache statistics, for backends that decode on demand:
+    /// `Some` for [`GraphBackend::Compressed`], `None` for the in-RAM
+    /// backings, which have no cache. No downcasting needed.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            GraphBackend::Compressed(z) => Some(z.cache_stats()),
+            GraphBackend::Csr(_) | GraphBackend::Sharded(_) => None,
         }
     }
 

@@ -1,0 +1,380 @@
+//! The trace half of telemetry: structured point events and span
+//! guards in a bounded in-memory ring, exportable as JSONL.
+//!
+//! Every event carries a process-wide **sequence number** (a relaxed
+//! `fetch_add`), so two traces of the same deterministic run are
+//! comparable event-by-event even though wall-clock durations differ:
+//! the sequence ordering and the typed fields are stable, only
+//! `elapsed_ns` values move. Determinism checks therefore compare
+//! everything *except* `elapsed_ns`.
+//!
+//! The ring is bounded: when full, the oldest event is dropped and
+//! counted, never blocking the recording thread. A disabled sink
+//! records nothing and hands out inert span guards without even reading
+//! the clock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+/// A typed trace-event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (counts, versions, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (ε values, rates).
+    F64(f64),
+    /// Short string (labels, kinds).
+    Str(String),
+}
+
+impl Serialize for TraceValue {
+    fn serialize(&self) -> Value {
+        match self {
+            TraceValue::Bool(b) => Value::Bool(*b),
+            TraceValue::U64(n) => Value::UInt(*n),
+            TraceValue::I64(n) => Value::Int(*n),
+            TraceValue::F64(x) => Value::Float(*x),
+            TraceValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl From<bool> for TraceValue {
+    fn from(v: bool) -> Self {
+        TraceValue::Bool(v)
+    }
+}
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> Self {
+        TraceValue::U64(v)
+    }
+}
+impl From<u32> for TraceValue {
+    fn from(v: u32) -> Self {
+        TraceValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> Self {
+        TraceValue::U64(v as u64)
+    }
+}
+impl From<i64> for TraceValue {
+    fn from(v: i64) -> Self {
+        TraceValue::I64(v)
+    }
+}
+impl From<f64> for TraceValue {
+    fn from(v: f64) -> Self {
+        TraceValue::F64(v)
+    }
+}
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_string())
+    }
+}
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+
+/// What kind of event a trace line is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceKind {
+    /// A standalone event.
+    Point,
+    /// A span opened ([`TraceSink::span`]).
+    Enter,
+    /// A span closed; its fields carry `span` (the enter's sequence
+    /// number) and `elapsed_ns`.
+    Exit,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Process-wide sequence number: the stable ordering key.
+    pub seq: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Event name, dotted like metric names (`frontier.cell.start`).
+    pub name: String,
+    /// Typed key/value payload, in emission order.
+    pub fields: Vec<(String, TraceValue)>,
+}
+
+impl Serialize for TraceEvent {
+    fn serialize(&self) -> Value {
+        let fields: Vec<(String, Value)> =
+            self.fields.iter().map(|(k, v)| (k.clone(), v.serialize())).collect();
+        Value::Object(vec![
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("kind".to_string(), self.kind.serialize()),
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("fields".to_string(), Value::Object(fields)),
+        ])
+    }
+}
+
+/// A bounded ring of trace events. `disabled()` sinks drop everything
+/// for free; `is_enabled()` lets hot paths skip even building the field
+/// vector.
+#[derive(Debug)]
+pub struct TraceSink {
+    /// Ring capacity; 0 means the sink is disabled.
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::disabled()
+    }
+}
+
+impl TraceSink {
+    /// Default ring capacity of [`TraceSink::enabled`] sinks.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// A sink that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceSink {
+            capacity: 0,
+            seq: AtomicU64::new(0),
+            ring: Mutex::default(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A live sink keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    /// If `capacity` is zero (zero means disabled; say so explicitly).
+    #[must_use]
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "an enabled trace sink needs a non-zero capacity");
+        TraceSink {
+            capacity,
+            seq: AtomicU64::new(0),
+            ring: Mutex::default(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether events are recorded at all. Hot paths check this before
+    /// building field vectors.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records a point event; returns its sequence number (0 when
+    /// disabled).
+    pub fn event(&self, name: &str, fields: Vec<(String, TraceValue)>) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.push(TraceKind::Point, name.to_string(), fields)
+    }
+
+    /// Opens a span: emits an `Enter` event now and an `Exit` event
+    /// (with `span` + `elapsed_ns` fields) when the guard drops. On a
+    /// disabled sink the guard is inert and the clock is never read.
+    #[must_use]
+    pub fn span(&self, name: &str, fields: Vec<(String, TraceValue)>) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard { inner: None };
+        }
+        let enter_seq = self.push(TraceKind::Enter, name.to_string(), fields);
+        SpanGuard {
+            inner: Some(SpanInner {
+                sink: self,
+                name: name.to_string(),
+                enter_seq,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    fn push(&self, kind: TraceKind, name: String, fields: Vec<(String, TraceValue)>) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("trace ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(TraceEvent { seq, kind, name, fields });
+        seq
+    }
+
+    /// Events currently in the ring, oldest first (sequence order).
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().expect("trace ring").iter().cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring").len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders the buffered events as JSONL: one JSON object per line,
+    /// newline-terminated, empty string when nothing was recorded.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            let line = serde_json::to_string(&event).expect("trace events always serialize");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII guard returned by [`TraceSink::span`]; emits the `Exit` event
+/// on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+#[derive(Debug)]
+struct SpanInner<'a> {
+    sink: &'a TraceSink,
+    name: String,
+    enter_seq: u64,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = self.inner.take() {
+            let elapsed = u64::try_from(span.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            span.sink.push(
+                TraceKind::Exit,
+                span.name,
+                vec![
+                    ("span".to_string(), TraceValue::U64(span.enter_seq)),
+                    ("elapsed_ns".to_string(), TraceValue::U64(elapsed)),
+                ],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_increasing_sequence_numbers() {
+        let sink = TraceSink::enabled(16);
+        sink.event("a", Vec::new());
+        sink.event("b", vec![("k".to_string(), TraceValue::U64(7))]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].fields[0], ("k".to_string(), TraceValue::U64(7)));
+    }
+
+    #[test]
+    fn span_guard_emits_matched_enter_and_exit() {
+        let sink = TraceSink::enabled(16);
+        {
+            let _span = sink.span("work", vec![("size".to_string(), TraceValue::U64(3))]);
+            sink.event("inside", Vec::new());
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, TraceKind::Enter);
+        assert_eq!(events[1].kind, TraceKind::Point);
+        assert_eq!(events[2].kind, TraceKind::Exit);
+        assert_eq!(events[2].name, "work");
+        assert_eq!(events[2].fields[0], ("span".to_string(), TraceValue::U64(events[0].seq)));
+        assert_eq!(events[2].fields[1].0, "elapsed_ns");
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let sink = TraceSink::enabled(2);
+        sink.event("first", Vec::new());
+        sink.event("second", Vec::new());
+        sink.event("third", Vec::new());
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "second");
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(events[1].seq, 2, "sequence numbers keep counting past drops");
+    }
+
+    #[test]
+    fn disabled_sink_is_inert_without_reading_the_clock() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.event("ignored", Vec::new()), 0);
+        let guard = sink.span("ignored", Vec::new());
+        drop(guard);
+        assert!(sink.is_empty());
+        assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_line() {
+        let sink = TraceSink::enabled(16);
+        sink.event(
+            "epoch.apply",
+            vec![
+                ("version".to_string(), TraceValue::U64(2)),
+                ("compacted".to_string(), TraceValue::Bool(false)),
+                ("label".to_string(), TraceValue::Str("x".to_string())),
+                ("eps".to_string(), TraceValue::F64(0.5)),
+            ],
+        );
+        sink.event("point", Vec::new());
+        let jsonl = sink.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        #[derive(serde::Deserialize)]
+        struct Line {
+            seq: u64,
+            kind: String,
+            name: String,
+        }
+        for (index, line) in lines.iter().enumerate() {
+            let parsed: Line = serde_json::from_str(line).expect("every trace line parses");
+            assert_eq!(parsed.seq, index as u64);
+            assert_eq!(parsed.kind, "Point");
+            assert!(!parsed.name.is_empty());
+        }
+        assert!(lines[0].starts_with("{\"seq\":0,\"kind\":\"Point\",\"name\":\"epoch.apply\""));
+        assert!(lines[0].contains("\"fields\":{\"version\":2,"));
+    }
+}

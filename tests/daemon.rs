@@ -64,7 +64,7 @@ fn daemon_outcomes_are_invariant_to_workers_and_queue_capacity() {
         run_daemon(
             &service,
             &events,
-            &DaemonConfig { workers: Some(workers), queue_capacity: queue, clock: None },
+            &DaemonConfig { workers: Some(workers), queue_capacity: queue, ..Default::default() },
         )
         .unwrap()
     };
@@ -140,7 +140,7 @@ fn backpressure_keeps_the_queue_at_capacity_one() {
     let run = run_daemon(
         &service,
         &events,
-        &DaemonConfig { workers: Some(4), queue_capacity: 1, clock: None },
+        &DaemonConfig { workers: Some(4), queue_capacity: 1, ..Default::default() },
     )
     .unwrap();
     assert_eq!(run.metrics.max_queue_depth, 1, "capacity 1 admits exactly one in-flight job");

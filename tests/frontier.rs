@@ -145,14 +145,21 @@ fn killed_sweep_resumes_to_a_byte_identical_report() {
     // "Kill" after five cells (journalled, fsync'd), then re-invoke.
     let first = run_sweep(
         &plan,
-        &SweepOptions { threads: Some(3), journal: Some(path.clone()), max_cells: Some(5) },
+        &SweepOptions {
+            threads: Some(3),
+            journal: Some(path.clone()),
+            max_cells: Some(5),
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(!first.complete);
     assert_eq!(first.computed, 5);
-    let second =
-        run_sweep(&plan, &SweepOptions { threads: Some(2), journal: Some(path), max_cells: None })
-            .unwrap();
+    let second = run_sweep(
+        &plan,
+        &SweepOptions { threads: Some(2), journal: Some(path), ..Default::default() },
+    )
+    .unwrap();
     assert!(second.complete);
     assert_eq!(second.resumed, 5, "journalled cells must not be recomputed");
     let resumed = FrontierReport::assemble(&plan, second.fingerprint, second.results);
